@@ -1,0 +1,56 @@
+"""Ablation: R-tree construction strategy vs join cost.
+
+DESIGN.md §6.4: the reference join (the denominator of every relative
+metric in Figure 7) uses STR-packed trees.  This bench compares STR,
+Hilbert packing, and dynamic Guttman insertion on build time and on the
+cost of the join they support, plus tree-quality stats in extra_info.
+Dynamic insertion is orders of magnitude slower to build (the paper's
+R-trees were insertion-built, which makes our Bld.Time percentages
+conservative — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtree import (
+    RTree,
+    bulk_load_hilbert,
+    bulk_load_str,
+    collect_stats,
+    rtree_join_count,
+)
+
+LOADERS = {
+    "str": bulk_load_str,
+    "hilbert": bulk_load_hilbert,
+    "dynamic": RTree.from_rect_array,
+    "dynamic-rstar": lambda rects: RTree.from_rect_array(rects, split="rstar"),
+}
+
+
+@pytest.mark.parametrize("loader", sorted(LOADERS))
+def test_tree_build(benchmark, pair_context, loader):
+    ctx = pair_context
+    benchmark.group = f"ablation-packing-build-{ctx.name}"
+    rects = ctx.ds1.rects
+    if loader.startswith("dynamic") and len(rects) > 30_000:
+        pytest.skip("dynamic insertion at this scale would dominate the run")
+
+    tree = benchmark(lambda: LOADERS[loader](rects))
+    stats = collect_stats(tree)
+    benchmark.extra_info["height"] = stats.height
+    benchmark.extra_info["leaf_fill"] = round(stats.average_leaf_fill, 1)
+
+
+@pytest.mark.parametrize("loader", sorted(LOADERS))
+def test_join_on_packed_trees(benchmark, pair_context, loader):
+    ctx = pair_context
+    benchmark.group = f"ablation-packing-join-{ctx.name}"
+    if loader.startswith("dynamic") and (len(ctx.ds1) + len(ctx.ds2)) > 60_000:
+        pytest.skip("dynamic insertion at this scale would dominate the run")
+    tree1 = LOADERS[loader](ctx.ds1.rects)
+    tree2 = LOADERS[loader](ctx.ds2.rects)
+
+    count = benchmark(lambda: rtree_join_count(tree1, tree2))
+    assert count == ctx.actual_pairs  # packing never changes the result

@@ -1,0 +1,72 @@
+"""Figure 7 benchmark: histogram-based estimation on the four join pairs.
+
+Two phases are measured separately, matching the paper's metrics:
+
+* build — constructing the histogram files for both datasets
+  (``Bld. Time`` panel);
+* estimate — combining two prebuilt histograms (``Est. Time`` panel).
+
+Errors and space costs ride along in ``extra_info``.  Regenerate the
+full figure (levels 0-9, text layout) with ``python -m repro.eval fig7``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import relative_error_pct
+from repro.histograms import GHHistogram, PHHistogram
+
+SCHEMES = {"ph": PHHistogram, "gh": GHHistogram}
+LEVELS = (0, 3, 5, 7)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_histogram_build(benchmark, pair_context, scheme, level):
+    ctx = pair_context
+    hist_cls = SCHEMES[scheme]
+    benchmark.group = f"fig7-build-{ctx.name}"
+
+    def build():
+        h1 = hist_cls.build(ctx.ds1, level, extent=ctx.ds1.extent)
+        h2 = hist_cls.build(ctx.ds2, level, extent=ctx.ds1.extent)
+        return h1, h2
+
+    h1, h2 = benchmark(build)
+    benchmark.extra_info["space_bytes"] = h1.size_bytes + h2.size_bytes
+    benchmark.extra_info["space_pct_of_rtrees"] = round(
+        100.0 * (h1.size_bytes + h2.size_bytes) / ctx.rtree_bytes, 3
+    )
+    benchmark.extra_info["rtree_build_seconds"] = round(ctx.build_seconds, 4)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_histogram_estimate(benchmark, pair_context, scheme, level):
+    ctx = pair_context
+    hist_cls = SCHEMES[scheme]
+    benchmark.group = f"fig7-estimate-{ctx.name}"
+    h1 = hist_cls.build(ctx.ds1, level, extent=ctx.ds1.extent)
+    h2 = hist_cls.build(ctx.ds2, level, extent=ctx.ds1.extent)
+
+    selectivity = benchmark(lambda: h1.estimate_selectivity(h2))
+
+    error = relative_error_pct(selectivity, ctx.actual_selectivity)
+    benchmark.extra_info["error_pct"] = round(error, 2)
+    benchmark.extra_info["join_seconds"] = round(ctx.join_seconds, 4)
+    # Shape claim (paper Section 4.4): GH reaches small errors by level 7.
+    if scheme == "gh" and level == 7:
+        assert error < 25.0
+
+
+def test_gh_error_profile_matches_paper(contexts):
+    """Aggregate shape check across pairs: at level 7 GH's mean error is
+    small, and it never blows up the way coarse parametric estimates do."""
+    from repro.histograms import gh_selectivity
+
+    errors = []
+    for ctx in contexts.values():
+        est = gh_selectivity(ctx.ds1, ctx.ds2, 7)
+        errors.append(relative_error_pct(est, ctx.actual_selectivity))
+    assert sum(errors) / len(errors) < 15.0

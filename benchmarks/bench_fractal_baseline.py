@@ -1,0 +1,116 @@
+"""Baseline comparison: fractal power laws vs GH on point datasets.
+
+The paper's related work ([6], [8]) estimates point-dataset join
+selectivity with fitted power laws; those techniques are restricted to
+point data and to data actually obeying the law.  GH handles the same
+workloads (buffer each point into an ``eps`` square; distance-join ≡
+MBR intersection) without any distributional assumption.  This bench
+times both and records their errors side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import relative_error_pct
+from repro.datasets import SpatialDataset
+from repro.fractal import (
+    CorrelationDimensionEstimator,
+    CrossPowerLawEstimator,
+    pairs_within_distance,
+)
+from repro.geometry import RectArray
+from repro.histograms import GHHistogram
+
+EPS_VALUES = (0.01, 0.04)
+
+
+def _buffered(ds: SpatialDataset, eps: float) -> SpatialDataset:
+    x, y = ds.rects.centers()
+    rects = RectArray(
+        x - eps / 2, y - eps / 2, x + eps / 2, y + eps / 2, validate=False
+    )
+    return SpatialDataset(f"{ds.name}+{eps:g}", rects, ds.extent.buffer(eps))
+
+
+@pytest.fixture(scope="module")
+def point_pair(all_pairs):
+    sp, _ = all_pairs["SP_SPG"]
+    rng = np.random.default_rng(7)
+    other = SpatialDataset(
+        "SP2", RectArray.from_points(rng.random(len(sp)), rng.random(len(sp))),
+        sp.extent,
+    )
+    return sp, other
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_self_join_power_law(benchmark, point_pair, eps):
+    sp, _ = point_pair
+    benchmark.group = f"fractal-selfjoin-eps{eps:g}"
+    truth = pairs_within_distance(sp, None, eps)
+
+    def run():
+        return CorrelationDimensionEstimator(sp).estimate_pairs(eps)
+
+    estimate = benchmark(run)
+    benchmark.extra_info["error_pct"] = round(
+        relative_error_pct(estimate, truth), 1
+    )
+    benchmark.extra_info["d2"] = round(
+        CorrelationDimensionEstimator(sp).correlation_dimension, 3
+    )
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_self_join_gh(benchmark, point_pair, eps):
+    sp, _ = point_pair
+    benchmark.group = f"fractal-selfjoin-eps{eps:g}"
+    truth = pairs_within_distance(sp, None, eps)
+    buffered = _buffered(sp, eps)
+
+    def run():
+        hist = GHHistogram.build(buffered, 7)
+        # GH counts all ordered pairs; subtract the diagonal.
+        return hist.estimate_pairs(hist) - len(sp)
+
+    estimate = benchmark(run)
+    benchmark.extra_info["error_pct"] = round(
+        relative_error_pct(estimate, truth), 1
+    )
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_cross_join_power_law(benchmark, point_pair, eps):
+    sp, other = point_pair
+    benchmark.group = f"fractal-cross-eps{eps:g}"
+    truth = pairs_within_distance(sp, other, eps)
+
+    estimate = benchmark(
+        lambda: CrossPowerLawEstimator(sp, other).estimate_pairs(eps)
+    )
+    benchmark.extra_info["error_pct"] = round(
+        relative_error_pct(estimate, truth), 1
+    )
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_cross_join_gh(benchmark, point_pair, eps):
+    sp, other = point_pair
+    benchmark.group = f"fractal-cross-eps{eps:g}"
+    truth = pairs_within_distance(sp, other, eps)
+    extent = sp.extent.buffer(eps)
+    b1 = _buffered(sp, eps).with_extent(extent)
+    b2 = _buffered(other, eps).with_extent(extent)
+
+    def run():
+        h1 = GHHistogram.build(b1, 7, extent=extent)
+        h2 = GHHistogram.build(b2, 7, extent=extent)
+        return h1.estimate_pairs(h2)
+
+    estimate = benchmark(run)
+    error = relative_error_pct(estimate, truth)
+    benchmark.extra_info["error_pct"] = round(error, 1)
+    if truth > 500:
+        assert error < 50.0  # GH stays accurate without a fitted law

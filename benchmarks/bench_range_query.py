@@ -1,0 +1,86 @@
+"""Range-query estimation benchmark (extension of the paper).
+
+Times window-count estimation from prebuilt histogram files across
+query sizes, with accuracy riding along in ``extra_info``.  The point of
+comparison is the Kamel–Faloutsos-style closed form from global
+statistics, which the histograms beat decisively on skewed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import relative_error_pct
+from repro.geometry import Rect
+from repro.histograms import (
+    GHHistogram,
+    PHHistogram,
+    range_count_gh,
+    range_count_parametric,
+    range_count_ph,
+)
+
+QUERY_SIDES = (0.05, 0.2)
+LEVEL = 7
+
+
+def _queries(side: float, count: int = 50) -> list[Rect]:
+    rng = np.random.default_rng(13)
+    out = []
+    for _ in range(count):
+        x = rng.uniform(0, 1 - side)
+        y = rng.uniform(0, 1 - side)
+        out.append(Rect(x, y, x + side, y + side))
+    return out
+
+
+@pytest.mark.parametrize("side", QUERY_SIDES)
+@pytest.mark.parametrize("technique", ["gh", "ph", "parametric"])
+def test_range_estimation(benchmark, pair_context, technique, side):
+    ctx = pair_context
+    benchmark.group = f"range-{ctx.name}-side{side:g}"
+    dataset = ctx.ds2  # the larger side of each pair
+    queries = _queries(side)
+    truths = [int(dataset.rects.intersects_rect(q).sum()) for q in queries]
+
+    if technique == "gh":
+        hist = GHHistogram.build(dataset, LEVEL)
+        run = lambda: [range_count_gh(hist, q) for q in queries]
+    elif technique == "ph":
+        hist = PHHistogram.build(dataset, LEVEL)
+        run = lambda: [range_count_ph(hist, q) for q in queries]
+    else:
+        summary = dataset.summary()
+        run = lambda: [range_count_parametric(summary, q) for q in queries]
+
+    estimates = benchmark(run)
+    errors = [
+        relative_error_pct(est, truth)
+        for est, truth in zip(estimates, truths)
+        if truth >= 10
+    ]
+    if errors:
+        benchmark.extra_info["mean_error_pct"] = round(float(np.mean(errors)), 1)
+        benchmark.extra_info["scored_queries"] = len(errors)
+
+
+@pytest.mark.parametrize("side", QUERY_SIDES)
+def test_gh_beats_parametric_on_skewed_pairs(pair_context, side):
+    """Accuracy assertion: on every pair, GH's mean range error is no
+    worse than the global parametric formula's."""
+    ctx = pair_context
+    dataset = ctx.ds2
+    hist = GHHistogram.build(dataset, LEVEL)
+    summary = dataset.summary()
+    gh_err, par_err = [], []
+    for query in _queries(side):
+        truth = int(dataset.rects.intersects_rect(query).sum())
+        if truth < 10:
+            continue
+        gh_err.append(relative_error_pct(range_count_gh(hist, query), truth))
+        par_err.append(
+            relative_error_pct(range_count_parametric(summary, query), truth)
+        )
+    if gh_err:
+        assert float(np.mean(gh_err)) <= float(np.mean(par_err)) * 1.05

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run on the paper's four join pairs, scaled down by
+``REPRO_BENCH_SCALE`` (default 100, i.e. ~1k-22k rectangles per dataset —
+quick enough for CI; set 20 to approach paper-shaped sizes).
+
+Each pair fixture also carries the precomputed ground truth so benches
+can assert accuracy claims alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import paper_pairs
+from repro.eval import PairContext, prepare_pair
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "100"))
+
+PAIR_NAMES = ("TS_TCB", "CAS_CAR", "SP_SPG", "SCRC_SURA")
+
+
+@pytest.fixture(scope="session")
+def all_pairs() -> dict:
+    return paper_pairs(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def contexts(all_pairs) -> dict[str, PairContext]:
+    return {
+        name: prepare_pair(name, ds1, ds2) for name, (ds1, ds2) in all_pairs.items()
+    }
+
+
+@pytest.fixture(scope="session", params=PAIR_NAMES)
+def pair_context(request, contexts) -> PairContext:
+    return contexts[request.param]

@@ -1,0 +1,92 @@
+"""Live statistics: incremental maintenance + window-query estimation.
+
+A real SDBMS can't rebuild its statistics on every insert.  GH's cell
+statistics are sums of per-rectangle contributions, so the library
+maintains them incrementally: ``apply_updates(hist, added=..., removed=...)``
+costs O(changed rectangles), not O(dataset).
+
+This example simulates a parcel table receiving batches of inserts and
+deletes while serving two kinds of estimates from the same histogram
+file the whole time:
+
+* window counts ("how many parcels in this viewport?") via
+  ``range_count_gh``, and
+* join selectivity against a fixed road network via ``estimate_pairs``.
+
+After every batch the incrementally maintained histogram is checked
+against a from-scratch rebuild (identical) and the estimates against
+exact answers.
+
+Run:
+    python examples/live_statistics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Rect, SpatialDataset, actual_selectivity
+from repro.datasets import make_roads_like, make_uniform
+from repro.histograms import GHHistogram, apply_updates, range_count_gh
+
+LEVEL = 6
+VIEWPORT = Rect(0.25, 0.25, 0.55, 0.65)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    roads = make_roads_like(20_000, seed=1, name="roads")
+    parcels = make_uniform(30_000, seed=2, mean_width=0.006, mean_height=0.006,
+                           name="parcels")
+
+    road_hist = GHHistogram.build(roads, LEVEL)
+    parcel_hist = GHHistogram.build(parcels, LEVEL)
+    live = parcels.rects
+
+    print(f"{'batch':>5} {'parcels':>8} {'viewport est/true':>20} "
+          f"{'join est/true (pairs)':>24} {'rebuild match':>14}")
+    for batch in range(6):
+        # --- apply a batch of table changes --------------------------
+        if batch:
+            added = make_uniform(
+                2_000, seed=100 + batch, mean_width=0.006, mean_height=0.006
+            ).rects
+            victim_idx = rng.choice(len(live), size=1_000, replace=False)
+            removed = live[victim_idx]
+            keep = np.setdiff1d(np.arange(len(live)), victim_idx)
+            live_arr = live[keep]
+            import repro.geometry as geom
+
+            live = geom.RectArray.concatenate([live_arr, added])
+            parcel_hist = apply_updates(parcel_hist, added=added, removed=removed)
+
+        live_ds = SpatialDataset("parcels", live, parcels.extent)
+
+        # --- estimates served from the maintained histogram ----------
+        window_est = range_count_gh(parcel_hist, VIEWPORT)
+        window_true = int(live.intersects_rect(VIEWPORT).sum())
+        join_est = parcel_hist.estimate_pairs(road_hist)
+        join_true = actual_selectivity(live, roads.rects) * len(live) * len(roads)
+
+        # --- verify the incremental histogram is exact ----------------
+        rebuilt = GHHistogram.build(live_ds, LEVEL)
+        match = bool(
+            np.allclose(parcel_hist.c, rebuilt.c)
+            and np.allclose(parcel_hist.o, rebuilt.o)
+            and np.allclose(parcel_hist.h, rebuilt.h)
+            and np.allclose(parcel_hist.v, rebuilt.v)
+        )
+        print(
+            f"{batch:>5} {len(live):>8} "
+            f"{window_est:>9.0f}/{window_true:<10} "
+            f"{join_est:>11.0f}/{join_true:<12.0f} "
+            f"{'exact' if match else 'DRIFT':>13}"
+        )
+
+    print("\nIncremental updates are exact (float-sum associativity aside):")
+    print("no periodic rebuilds needed, unlike PH whose per-cell averages")
+    print("cannot be updated without the raw data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: estimate a spatial-join selectivity five ways.
+
+Builds a scaled version of the paper's TS/TCB join pair (stream MBRs
+against census-block MBRs), runs every estimator in the library, and
+compares each estimate with the exact answer.
+
+Run:
+    python examples/quickstart.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    GHEstimator,
+    ParametricEstimator,
+    PHEstimator,
+    SamplingEstimatorAdapter,
+    actual_selectivity,
+    make_paper_pair,
+    relative_error_pct,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 50.0
+    print(f"Building TS/TCB analogue pair at 1/{scale:g} of paper scale ...")
+    ts, tcb = make_paper_pair("TS", "TCB", scale=scale)
+    print(f"  TS : {len(ts):>7} stream-segment MBRs")
+    print(f"  TCB: {len(tcb):>7} census-block MBRs")
+
+    t0 = time.perf_counter()
+    truth = actual_selectivity(ts.rects, tcb.rects)
+    join_seconds = time.perf_counter() - t0
+    expected_pairs = truth * len(ts) * len(tcb)
+    print(f"\nExact join: selectivity {truth:.4e} "
+          f"({expected_pairs:.0f} pairs, {join_seconds:.2f}s)\n")
+
+    estimators = [
+        ("parametric (Aref-Samet, Eq. 1-2)", ParametricEstimator()),
+        ("PH, level 5", PHEstimator(level=5)),
+        ("GH, level 7 (paper's pick)", GHEstimator(level=7)),
+        ("RSWR sampling 10%/10%", SamplingEstimatorAdapter(
+            method="rswr", fraction1=0.1, fraction2=0.1, seed=0)),
+        ("RS sampling 10%/10%", SamplingEstimatorAdapter(
+            method="rs", fraction1=0.1, fraction2=0.1)),
+    ]
+
+    print(f"{'estimator':<34} {'estimate':>12} {'error':>9} {'time':>9}")
+    for label, estimator in estimators:
+        t0 = time.perf_counter()
+        estimate = estimator.estimate(ts, tcb)
+        seconds = time.perf_counter() - t0
+        error = relative_error_pct(estimate, truth)
+        print(f"{label:<34} {estimate:>12.4e} {error:>8.1f}% {seconds:>8.3f}s")
+
+    print("\nThe Geometric Histogram estimate is both accurate and orders of")
+    print("magnitude cheaper than the join once its histogram files exist —")
+    print("see examples/approximate_count.py for the build-once workflow.")
+
+
+if __name__ == "__main__":
+    main()

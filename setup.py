@@ -1,0 +1,11 @@
+"""Shim so `pip install -e .` works without the `wheel` package installed.
+
+The environment has setuptools 65 but no `wheel`, so PEP 660 editable
+wheels cannot be built; the presence of setup.py lets pip fall back to
+the legacy `setup.py develop` editable path. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

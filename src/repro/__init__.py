@@ -1,0 +1,99 @@
+"""repro — reproduction of *Selectivity Estimation for Spatial Joins*
+(Ning An, Zhen-Yu Yang, Anand Sivasubramaniam; ICDE 2001).
+
+The library implements the paper's estimators — three sampling
+techniques (RS, RSWR, SS), the Aref–Samet parametric baseline, the
+Parametric Histogram (PH) and the Geometric Histogram (GH) — together
+with the full substrate they run on: a geometry kernel, Hilbert curves,
+R-trees (dynamic and packed) with a synchronized-traversal join, and
+three more exact join algorithms used as ground truth.
+
+Quickstart::
+
+    from repro import make_paper_pair, GHEstimator, actual_selectivity
+
+    ts, tcb = make_paper_pair("TS", "TCB", scale=50)
+    estimate = GHEstimator(level=7).estimate(ts, tcb)
+    truth = actual_selectivity(ts.rects, tcb.rects)
+
+See ``examples/`` for runnable scenarios and ``python -m repro.eval``
+for the figure-reproduction harness.
+"""
+
+from .core import (
+    ESTIMATOR_KINDS,
+    BasicGHEstimator,
+    GHEstimator,
+    JoinSelectivityEstimator,
+    ParametricEstimator,
+    PHEstimator,
+    PreparedEstimator,
+    SamplingEstimatorAdapter,
+    StatisticsCatalog,
+    catalog_for,
+    create_estimator,
+    optimize_join_order,
+    relative_error_pct,
+)
+from .datasets import (
+    SpatialDataset,
+    load_dataset,
+    make_paper_dataset,
+    make_paper_pair,
+    paper_pairs,
+    save_dataset,
+)
+from .geometry import Rect, RectArray
+from .histograms import (
+    BasicGHHistogram,
+    GHHistogram,
+    PHHistogram,
+    gh_selectivity,
+    parametric_selectivity,
+    ph_selectivity,
+)
+from .join import actual_selectivity, join_count, join_pairs
+from .sampling import SamplingJoinEstimator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Rect",
+    "RectArray",
+    # datasets
+    "SpatialDataset",
+    "make_paper_dataset",
+    "make_paper_pair",
+    "paper_pairs",
+    "save_dataset",
+    "load_dataset",
+    # exact joins
+    "join_count",
+    "join_pairs",
+    "actual_selectivity",
+    # estimators
+    "JoinSelectivityEstimator",
+    "PreparedEstimator",
+    "ParametricEstimator",
+    "PHEstimator",
+    "GHEstimator",
+    "BasicGHEstimator",
+    "SamplingEstimatorAdapter",
+    "SamplingJoinEstimator",
+    "ESTIMATOR_KINDS",
+    "create_estimator",
+    # histograms
+    "PHHistogram",
+    "GHHistogram",
+    "BasicGHHistogram",
+    "ph_selectivity",
+    "gh_selectivity",
+    "parametric_selectivity",
+    # core services
+    "StatisticsCatalog",
+    "catalog_for",
+    "optimize_join_order",
+    "relative_error_pct",
+]

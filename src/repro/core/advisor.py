@@ -1,0 +1,117 @@
+"""Gridding-level advisors.
+
+Figure 7 leaves an operational question open: *which level should a
+system actually pick?*  PH needs a data-dependent sweet spot; GH only
+trades space for accuracy.  Two advisors:
+
+* :func:`level_for_budget` — the largest level whose histogram file
+  fits a byte budget (exact: file size depends only on the level).
+* :func:`calibrate_level` — exploit GH's monotone convergence
+  (Figure 7's key property): walk the levels upward and stop when the
+  estimate stabilizes, i.e. successive refinements change it by less
+  than ``tolerance``.  Because GH converges from a fixed bias toward
+  the truth, stabilization is evidence of convergence — no ground
+  truth required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from ..histograms import MAX_LEVEL
+
+__all__ = ["level_for_budget", "calibrate_level", "CalibrationResult"]
+
+_PER_CELL = {"gh": 4, "ph": 8}
+
+
+def level_for_budget(budget_bytes: int, *, scheme: str = "gh") -> int:
+    """Largest gridding level whose histogram file fits ``budget_bytes``.
+
+    Histogram size is ``8 * per_cell_values * 4^level`` bytes (plus two
+    scalars for PH), independent of the data — the property the paper
+    points out makes space planning trivial.
+    """
+    if scheme not in _PER_CELL:
+        raise ValueError(f"scheme must be one of {sorted(_PER_CELL)}")
+    if budget_bytes < 8 * _PER_CELL[scheme]:
+        raise ValueError(
+            f"budget of {budget_bytes} bytes cannot hold even a level-0 "
+            f"{scheme.upper()} histogram"
+        )
+    level = 0
+    while level < MAX_LEVEL:
+        next_cells = 4 ** (level + 1)
+        if 8 * _PER_CELL[scheme] * next_cells > budget_bytes:
+            break
+        level += 1
+    return level
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Outcome of :func:`calibrate_level`."""
+
+    level: int
+    selectivity: float
+    #: Relative change between the last two levels (the stopping signal).
+    last_relative_change: float
+    #: Estimates per visited level (diagnostics / plotting).
+    trace: tuple[float, ...]
+
+
+def calibrate_level(
+    ds1: SpatialDataset,
+    ds2: SpatialDataset,
+    *,
+    tolerance: float = 0.02,
+    min_level: int = 2,
+    max_level: int = 9,
+    extent: Rect | None = None,
+) -> CalibrationResult:
+    """Smallest GH level at which the estimate has stabilized.
+
+    Walks the levels of a :class:`~repro.histograms.GHPyramid` (one
+    build at ``max_level``, exact downsampling for the rest) and stops
+    once two successive levels agree within ``tolerance`` (relative).
+    Falls back to ``max_level`` when the sequence never stabilizes
+    (extremely skewed data at the configured ceiling).
+    """
+    if not 0 <= min_level <= max_level <= MAX_LEVEL:
+        raise ValueError("need 0 <= min_level <= max_level <= MAX_LEVEL")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if extent is None:
+        if ds1.extent != ds2.extent:
+            raise ValueError("datasets must share a common extent (or pass one)")
+        extent = ds1.extent
+
+    from ..histograms import GHPyramid
+
+    pyramid1 = GHPyramid(ds1, max_level, extent=extent)
+    pyramid2 = GHPyramid(ds2, max_level, extent=extent)
+    trace: list[float] = []
+    previous: float | None = None
+    last_change = float("inf")
+    for level in range(min_level, max_level + 1):
+        estimate = pyramid1.estimate_selectivity(pyramid2, level)
+        trace.append(estimate)
+        if previous is not None:
+            baseline = max(abs(previous), 1e-300)
+            last_change = abs(estimate - previous) / baseline
+            if last_change <= tolerance:
+                return CalibrationResult(
+                    level=level,
+                    selectivity=estimate,
+                    last_relative_change=last_change,
+                    trace=tuple(trace),
+                )
+        previous = estimate
+    return CalibrationResult(
+        level=max_level,
+        selectivity=trace[-1],
+        last_relative_change=last_change,
+        trace=tuple(trace),
+    )

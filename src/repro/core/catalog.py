@@ -1,0 +1,131 @@
+"""Statistics catalog: build once, estimate many times.
+
+This is the deployment shape the paper envisions — an SDBMS maintains a
+histogram file per dataset offline, and the query optimizer consults the
+files at planning time without touching the data.  The catalog caches
+the per-dataset summaries of any :class:`~repro.core.estimator.PreparedEstimator`
+and can spill them to a directory as histogram files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect, common_extent
+from ..histograms import load_histogram, save_histogram
+from .estimator import GHEstimator, PHEstimator, PreparedEstimator
+
+__all__ = ["StatisticsCatalog"]
+
+
+class StatisticsCatalog:
+    """Registry of datasets plus cached per-dataset estimator summaries.
+
+    Parameters
+    ----------
+    estimator:
+        The prepared estimator whose summaries are cached (default: GH
+        at level 7, the paper's recommended configuration).
+    directory:
+        Optional path; when given, histogram summaries are persisted as
+        files there and reloaded on cache misses.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[PreparedEstimator] = None,
+        *,
+        directory: str | Path | None = None,
+    ) -> None:
+        self.estimator = estimator if estimator is not None else GHEstimator(level=7)
+        self.directory = Path(directory) if directory is not None else None
+        self._datasets: Dict[str, SpatialDataset] = {}
+        self._summaries: Dict[Tuple[str, str], Any] = {}
+        self._extent: Rect | None = None
+
+    # ------------------------------------------------------------------
+    def register(self, dataset: SpatialDataset) -> None:
+        """Add a dataset. All registered datasets must share one universe:
+        the catalog extent grows to cover every registration, and cached
+        summaries are invalidated when it changes."""
+        self._datasets[dataset.name] = dataset
+        new_extent = dataset.extent if self._extent is None else Rect(
+            min(self._extent.xmin, dataset.extent.xmin),
+            min(self._extent.ymin, dataset.extent.ymin),
+            max(self._extent.xmax, dataset.extent.xmax),
+            max(self._extent.ymax, dataset.extent.ymax),
+        )
+        if new_extent != self._extent:
+            self._extent = new_extent
+            self._summaries.clear()
+
+    def dataset(self, name: str) -> SpatialDataset:
+        """Look up a registered dataset by name."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise KeyError(f"dataset {name!r} is not registered") from None
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    @property
+    def extent(self) -> Rect:
+        if self._extent is None:
+            raise ValueError("catalog has no registered datasets")
+        return self._extent
+
+    # ------------------------------------------------------------------
+    def summary_for(self, name: str) -> Any:
+        """The cached (or freshly built / loaded) per-dataset summary."""
+        key = (name, self._estimator_key())
+        if key in self._summaries:
+            return self._summaries[key]
+        path = self._summary_path(name)
+        if path is not None and path.exists():
+            summary = load_histogram(path)
+            self._summaries[key] = summary
+            return summary
+        summary = self.estimator.prepare(self.dataset(name), extent=self.extent)
+        self._summaries[key] = summary
+        if path is not None:
+            save_histogram(summary, path)
+        return summary
+
+    def estimate(self, name1: str, name2: str) -> float:
+        """Estimated selectivity between two registered datasets."""
+        return self.estimator.combine(self.summary_for(name1), self.summary_for(name2))
+
+    def estimate_pairs(self, name1: str, name2: str) -> float:
+        """Estimated join result size between two registered datasets."""
+        return self.estimate(name1, name2) * len(self.dataset(name1)) * len(
+            self.dataset(name2)
+        )
+
+    # ------------------------------------------------------------------
+    def _estimator_key(self) -> str:
+        level = getattr(self.estimator, "level", None)
+        return f"{self.estimator.name}-{level}" if level is not None else self.estimator.name
+
+    def _summary_path(self, name: str) -> Path | None:
+        if self.directory is None:
+            return None
+        if not isinstance(self.estimator, (GHEstimator, PHEstimator)):
+            return None  # only histogram summaries have a file format
+        return self.directory / f"{name}.{self._estimator_key()}.npz"
+
+
+def catalog_for(
+    datasets: list[SpatialDataset], estimator: Optional[PreparedEstimator] = None
+) -> StatisticsCatalog:
+    """Convenience constructor registering several datasets at once,
+    normalizing them to one shared extent."""
+    catalog = StatisticsCatalog(estimator)
+    if datasets:
+        extent = common_extent(*(d.rects for d in datasets))
+        for dataset in datasets:
+            catalog.register(dataset.with_extent(extent))
+    return catalog

@@ -1,0 +1,55 @@
+"""All-pairs selectivity estimation with prepare-once semantics.
+
+A query optimizer planning over ``k`` relations needs all ``k*(k-1)/2``
+pairwise selectivities.  Estimating each pair independently would build
+every histogram ``k - 1`` times; :func:`pairwise_selectivities` prepares
+each dataset exactly once on a shared extent and combines summaries —
+the intended production flow, and the natural input to
+:func:`repro.core.optimizer.optimize_join_order`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Sequence, Tuple
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect, common_extent
+from .estimator import GHEstimator, PreparedEstimator
+
+__all__ = ["pairwise_selectivities"]
+
+
+def pairwise_selectivities(
+    datasets: Sequence[SpatialDataset],
+    estimator: PreparedEstimator | None = None,
+    *,
+    extent: Rect | None = None,
+) -> Dict[Tuple[str, str], float]:
+    """Estimated selectivity for every dataset pair, keyed by sorted names.
+
+    Each dataset is prepared once on a shared extent (given, or the
+    union of all declared extents).  Dataset names must be unique.
+    Output keys are ``(name_a, name_b)`` with ``name_a <= name_b`` —
+    exactly the shape :func:`~repro.core.optimizer.optimize_join_order`
+    consumes.
+    """
+    if estimator is None:
+        estimator = GHEstimator(level=7)
+    names = [ds.name for ds in datasets]
+    if len(set(names)) != len(names):
+        raise ValueError(f"dataset names must be unique, got {names}")
+    if len(datasets) < 2:
+        raise ValueError("need at least two datasets")
+    if extent is None:
+        extent = common_extent(*(ds.rects for ds in datasets if len(ds)))
+        for ds in datasets:
+            extent = extent.union(ds.extent)
+    summaries = {
+        ds.name: estimator.prepare(ds.with_extent(extent), extent=extent)
+        for ds in datasets
+    }
+    result: Dict[Tuple[str, str], float] = {}
+    for a, b in combinations(sorted(names), 2):
+        result[(a, b)] = estimator.combine(summaries[a], summaries[b])
+    return result

@@ -1,0 +1,80 @@
+"""Evaluation metrics and timing utilities (paper Section 4.2).
+
+The paper scores techniques on four metrics; this module implements the
+definitions verbatim:
+
+* **Estimation error** — ``|estimate - actual| / actual`` as a
+  percentage of the actual join selectivity.
+* **Estimation time** — estimation wall time relative to the time of the
+  actual join (using R-tree indices).
+* **Space cost** — bytes of auxiliary structure as a percentage of the
+  R-tree sizes for the actual datasets.
+* **Building time** — construction time of the auxiliary structures as a
+  percentage of the time to build the R-trees for the actual datasets.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["relative_error_pct", "ratio_pct", "Timer", "MetricAccumulator"]
+
+
+def relative_error_pct(estimate: float, actual: float) -> float:
+    """Estimation error as a percentage of the actual value.
+
+    Defined as ``|estimate - actual| / actual * 100``.  When the actual
+    value is zero the error is 0 if the estimate is also zero and
+    infinity otherwise (a join with no results that is estimated to have
+    some is arbitrarily wrong in relative terms).
+    """
+    if actual == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - actual) / abs(actual) * 100.0
+
+
+def ratio_pct(part: float, whole: float) -> float:
+    """``part / whole`` as a percentage (infinity when whole == 0)."""
+    if whole == 0:
+        return 0.0 if part == 0 else math.inf
+    return part / whole * 100.0
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    __slots__ = ("start", "seconds")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.start
+
+
+@dataclass
+class MetricAccumulator:
+    """Online mean/min/max of a metric over repeated runs."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=math.inf)
+    maximum: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0

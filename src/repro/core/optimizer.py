@@ -1,0 +1,127 @@
+"""A small cost-based multiway spatial-join optimizer.
+
+Selectivity estimation exists to serve query optimization (the paper's
+motivating use); this module closes that loop with a classic
+Selinger-style dynamic program over join orders:
+
+* the *cardinality* of joining a set ``S`` of datasets is modeled as
+  ``prod |D_i| * prod sel(D_i, D_j)`` over the join-graph edges inside
+  ``S`` (pairwise-independence assumption);
+* the *cost* of a plan is the sum of intermediate result cardinalities
+  (smaller intermediates = cheaper downstream work);
+* joins without a connecting predicate (Cartesian products) are avoided
+  unless unavoidable.
+
+The DP enumerates connected subsets (standard DPsub) — fine for the
+handfuls of relations spatial queries join.  The point of the example
+(examples/query_optimizer.py) is that plugging in GH estimates yields
+the same plan as plugging in the true selectivities, while the naive
+parametric estimator can be fooled by skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = ["JoinPlan", "optimize_join_order", "plan_cardinality"]
+
+Edge = Tuple[str, str]
+
+
+def _edge(a: str, b: str) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A (left-deep) join order with its modeled cost.
+
+    ``order`` lists dataset names in join sequence; ``cost`` is the sum
+    of modeled intermediate cardinalities; ``cardinality`` the modeled
+    final result size.
+    """
+
+    order: Tuple[str, ...]
+    cost: float
+    cardinality: float
+
+
+def plan_cardinality(
+    names: Sequence[str],
+    sizes: Mapping[str, int],
+    selectivities: Mapping[Edge, float],
+) -> float:
+    """Modeled result cardinality of joining ``names`` (independence model)."""
+    normalized = {_edge(a, b): s for (a, b), s in selectivities.items()}
+    card = 1.0
+    for name in names:
+        card *= sizes[name]
+    for a, b in combinations(sorted(names), 2):
+        sel = normalized.get(_edge(a, b))
+        if sel is not None:
+            card *= sel
+    return card
+
+
+def optimize_join_order(
+    sizes: Mapping[str, int],
+    selectivities: Mapping[Edge, float],
+) -> JoinPlan:
+    """Pick the left-deep join order minimizing total intermediate size.
+
+    ``sizes`` maps dataset name to cardinality; ``selectivities`` maps
+    (sorted) name pairs to estimated selectivity — absent pairs are
+    treated as Cartesian products (selectivity 1), penalized so they are
+    chosen only when the join graph is disconnected.
+    """
+    names = sorted(sizes)
+    if not names:
+        raise ValueError("optimize_join_order needs at least one dataset")
+    if len(names) == 1:
+        only = names[0]
+        return JoinPlan((only,), 0.0, float(sizes[only]))
+
+    normalized = {_edge(a, b): s for (a, b), s in selectivities.items()}
+    full = frozenset(names)
+
+    # DP over subsets: best (cost, order) to produce each subset, where
+    # cost = sum of cardinalities of all intermediate results produced
+    # (the final result is also counted once, uniformly across plans).
+    best: Dict[frozenset, Tuple[float, Tuple[str, ...]]] = {}
+    for name in names:
+        best[frozenset([name])] = (0.0, (name,))
+
+    # Enumerate subsets by size; extend left-deep plans one dataset at a time.
+    def connected(subset: frozenset, name: str) -> bool:
+        return any(_edge(name, member) in normalized for member in subset)
+
+    subsets_by_size: Dict[int, list[frozenset]] = {1: [frozenset([n]) for n in names]}
+    for size in range(2, len(names) + 1):
+        layer: list[frozenset] = []
+        for subset in subsets_by_size[size - 1]:
+            if subset not in best:
+                continue
+            base_cost, base_order = best[subset]
+            for name in names:
+                if name in subset:
+                    continue
+                # Prefer connected extensions; allow a Cartesian step only
+                # when no dataset connects (keeps disconnected graphs legal).
+                if not connected(subset, name) and any(
+                    connected(subset, other) for other in names if other not in subset
+                ):
+                    continue
+                new_subset = subset | {name}
+                card = plan_cardinality(tuple(new_subset), sizes, normalized)
+                cost = base_cost + card
+                entry = best.get(new_subset)
+                if entry is None or cost < entry[0]:
+                    best[new_subset] = (cost, base_order + (name,))
+                    if new_subset not in layer:
+                        layer.append(new_subset)
+        subsets_by_size[size] = layer
+
+    cost, order = best[full]
+    return JoinPlan(order, cost, plan_cardinality(order, sizes, normalized))

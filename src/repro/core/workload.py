@@ -1,0 +1,64 @@
+"""Workload descriptors for the paper's experiments.
+
+Figure 6 sweeps nine sample-size combinations per join pair; Figure 7
+sweeps gridding levels 0–9.  These small value objects name those sweeps
+so the harness, benches, and tests all agree on the configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "SampleCombo",
+    "FIGURE6_COMBOS",
+    "FIGURE6_METHODS",
+    "FIGURE7_LEVELS",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SampleCombo:
+    """One x-axis position of Figure 6: sample percentages per side.
+
+    ``100`` means the whole dataset is used for that side.
+    """
+
+    pct1: float
+    pct2: float
+
+    @property
+    def fraction1(self) -> float:
+        return self.pct1 / 100.0
+
+    @property
+    def fraction2(self) -> float:
+        return self.pct2 / 100.0
+
+    @property
+    def label(self) -> str:
+        def fmt(p: float) -> str:
+            return f"{p:g}"
+
+        return f"{fmt(self.pct1)}/{fmt(self.pct2)}"
+
+
+#: The paper's nine combinations, in the exact x-axis order of Figure 6.
+FIGURE6_COMBOS: Tuple[SampleCombo, ...] = (
+    SampleCombo(0.1, 0.1),
+    SampleCombo(1, 1),
+    SampleCombo(10, 10),
+    SampleCombo(0.1, 100),
+    SampleCombo(100, 0.1),
+    SampleCombo(1, 100),
+    SampleCombo(100, 1),
+    SampleCombo(10, 100),
+    SampleCombo(100, 10),
+)
+
+#: The three bars within each Figure 6 group.
+FIGURE6_METHODS: Tuple[str, ...] = ("rswr", "rs", "ss")
+
+#: Figure 7's x-axis: gridding levels h = 0..9 (4^h cells).
+FIGURE7_LEVELS: Tuple[int, ...] = tuple(range(10))

@@ -1,0 +1,93 @@
+"""Dataset wrapper used throughout the library.
+
+A :class:`SpatialDataset` bundles a bulk rectangle array with a name and
+a declared spatial extent (universe).  The extent matters: the paper's
+parametric formula needs the universe area ``A`` and the histogram
+schemes grid the universe, so it must be fixed per dataset pair — not
+recomputed from whichever subset is at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Rect, RectArray, common_extent
+
+__all__ = ["SpatialDataset", "DatasetSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSummary:
+    """First-order statistics of a dataset — the paper's Equation 1 inputs."""
+
+    count: int
+    coverage: float  #: sum of item areas / extent area (C_k)
+    avg_width: float  #: W_k
+    avg_height: float  #: H_k
+    extent_area: float  #: A
+
+
+@dataclass(frozen=True)
+class SpatialDataset:
+    """A named collection of MBRs within a declared extent."""
+
+    name: str
+    rects: RectArray
+    extent: Rect = field(default_factory=Rect.unit)
+
+    def __post_init__(self) -> None:
+        if self.extent.width <= 0 or self.extent.height <= 0:
+            raise ValueError("dataset extent must have positive area")
+        if len(self.rects):
+            bounds = self.rects.bounds()
+            if not self.extent.contains_rect(bounds):
+                raise ValueError(
+                    f"dataset {self.name!r} has rectangles outside its extent "
+                    f"(bounds {bounds.as_tuple()}, extent {self.extent.as_tuple()})"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rects(
+        cls, name: str, rects: RectArray, extent: Optional[Rect] = None
+    ) -> "SpatialDataset":
+        """Wrap an array, defaulting the extent to the data bounds."""
+        if extent is None:
+            extent = common_extent(rects) if len(rects) else Rect.unit()
+        return cls(name=name, rects=rects, extent=extent)
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    @property
+    def count(self) -> int:
+        return len(self.rects)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> DatasetSummary:
+        """The Aref–Samet parameters ``(N, C, W, H)`` plus extent area."""
+        n = len(self.rects)
+        area = self.extent.area
+        if n == 0:
+            return DatasetSummary(0, 0.0, 0.0, 0.0, area)
+        return DatasetSummary(
+            count=n,
+            coverage=self.rects.total_area() / area,
+            avg_width=float(self.rects.widths().mean()),
+            avg_height=float(self.rects.heights().mean()),
+            extent_area=area,
+        )
+
+    def subset(self, indices: np.ndarray, suffix: str = "subset") -> "SpatialDataset":
+        """A new dataset over the selected rows (same extent)."""
+        return replace(self, name=f"{self.name}.{suffix}", rects=self.rects[indices])
+
+    def with_extent(self, extent: Rect) -> "SpatialDataset":
+        """Re-declare the universe (must still contain all data)."""
+        return replace(self, extent=extent)
+
+    def __repr__(self) -> str:
+        return f"SpatialDataset({self.name!r}, n={len(self.rects)})"

@@ -1,0 +1,313 @@
+"""Simulated analogues of the paper's real datasets.
+
+The paper evaluates on TIGER/Line 1995 extracts (TS/TCB streams and
+census blocks of IA+KS+MO+NE; CAS/CAR streams and roads of California)
+and the Sequoia 2000 benchmark (SP points, SPG polygons).  That data is
+not obtainable offline, so each dataset is replaced by a generator that
+reproduces the *distributional properties* the paper's analysis hinges
+on (see DESIGN.md §4 for the substitution rationale):
+
+* ``make_streams_like`` — MBRs of random-walk polyline segments: thin,
+  orientation-mixed, spatially autocorrelated (streams follow valleys).
+* ``make_blocks_like`` — a weighted binary space partition: census
+  blocks tile the plane with block size inversely proportional to
+  population density, giving clustered coverage.
+* ``make_roads_like`` — short axis-aligned segments packed around
+  heavy-tailed population centers (urban road grids), very highly
+  skewed, matching the paper's description of the CAR dataset.
+* ``make_points_like`` — clustered zero-area MBRs (Sequoia point data).
+* ``make_polygons_like`` — patchy mid-size polygons (Sequoia landuse).
+
+Every generator accepts a seed and an extent and produces a
+:class:`~repro.datasets.base.SpatialDataset`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Rect, RectArray
+from .base import SpatialDataset
+from .synthetic import as_generator, clamp_to_extent, reflect_into
+
+__all__ = [
+    "make_streams_like",
+    "make_blocks_like",
+    "make_roads_like",
+    "make_points_like",
+    "make_polygons_like",
+]
+
+
+def _cluster_centers(
+    rng: np.random.Generator, extent: Rect, count: int
+) -> np.ndarray:
+    return np.stack(
+        [
+            rng.uniform(extent.xmin, extent.xmax, size=count),
+            rng.uniform(extent.ymin, extent.ymax, size=count),
+        ],
+        axis=1,
+    )
+
+
+def _zipf_weights(count: int, exponent: float) -> np.ndarray:
+    w = np.arange(1, count + 1, dtype=np.float64) ** (-exponent)
+    return w / w.sum()
+
+
+def make_streams_like(
+    n: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    extent: Optional[Rect] = None,
+    n_basins: int = 24,
+    segments_per_stream: int = 30,
+    step: float = 0.004,
+    zipf_exponent: float = 0.8,
+    centers: Optional[np.ndarray] = None,
+    name: str = "streams",
+) -> SpatialDataset:
+    """MBRs of stream-segment polylines (TS / CAS analogue).
+
+    Streams are generated as persistent random walks ("meanders") seeded
+    inside drainage basins (pass ``centers`` to pin the basins — used to
+    correlate paired datasets the way real geography does); each walk
+    step contributes the MBR of one polyline segment.  Resulting MBRs are thin (one dimension ≈ ``step``)
+    and strongly spatially autocorrelated, which is what breaks the
+    uniformity assumption of the parametric estimator on this data.
+    """
+    rng = as_generator(seed)
+    extent = extent or Rect.unit()
+    if centers is not None:
+        basins = np.asarray(centers, dtype=np.float64)
+        n_basins = basins.shape[0]
+    else:
+        basins = _cluster_centers(rng, extent, n_basins)
+    weights = _zipf_weights(n_basins, zipf_exponent)
+
+    n_streams = max(1, n // segments_per_stream)
+    # Distribute streams over basins, then emit segment MBRs walk by walk.
+    basin_of_stream = rng.choice(n_basins, size=n_streams, p=weights)
+    xs = np.empty(n)
+    ys = np.empty(n)
+    x2 = np.empty(n)
+    y2 = np.empty(n)
+    filled = 0
+    stream_idx = 0
+    while filled < n:
+        basin = basins[basin_of_stream[stream_idx % n_streams]]
+        stream_idx += 1
+        k = min(segments_per_stream, n - filled)
+        # Persistent random walk: heading does a slow random drift.
+        heading = rng.uniform(0, 2 * np.pi)
+        px = basin[0] + rng.normal(0, 0.03 * extent.width)
+        py = basin[1] + rng.normal(0, 0.03 * extent.height)
+        headings = heading + np.cumsum(rng.normal(0, 0.35, size=k))
+        lengths = step * rng.uniform(0.5, 1.5, size=k) * min(extent.width, extent.height)
+        dx = np.cos(headings) * lengths
+        dy = np.sin(headings) * lengths
+        sx = px + np.concatenate([[0.0], np.cumsum(dx[:-1])])
+        sy = py + np.concatenate([[0.0], np.cumsum(dy[:-1])])
+        xs[filled : filled + k] = sx
+        ys[filled : filled + k] = sy
+        x2[filled : filled + k] = sx + dx
+        y2[filled : filled + k] = sy + dy
+        filled += k
+    rects = RectArray(
+        np.minimum(xs, x2), np.minimum(ys, y2), np.maximum(xs, x2), np.maximum(ys, y2),
+        validate=False,
+    )
+    return SpatialDataset(name, clamp_to_extent(rects, extent), extent)
+
+
+def make_blocks_like(
+    n: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    extent: Optional[Rect] = None,
+    n_hotspots: int = 16,
+    zipf_exponent: float = 1.0,
+    hotspot_spread: float = 0.08,
+    shrink: tuple[float, float] = (0.55, 0.95),
+    centers: Optional[np.ndarray] = None,
+    name: str = "blocks",
+) -> SpatialDataset:
+    """Census-block-like tessellation MBRs (TCB analogue).
+
+    A weighted binary space partition: the extent is recursively split,
+    always cutting the region with the highest *population weight*
+    (density integral), until ``n`` regions exist.  Dense hotspots thus
+    dissolve into many small blocks while rural areas stay coarse —
+    reproducing the clustered coverage of census-block data.  Each block
+    MBR is the region shrunk by a random factor (blocks don't overlap
+    much but their MBRs do not tile exactly either).
+    """
+    rng = as_generator(seed)
+    extent = extent or Rect.unit()
+    if n < 1:
+        raise ValueError("n must be positive")
+    if centers is not None:
+        hotspots = np.asarray(centers, dtype=np.float64)
+        n_hotspots = hotspots.shape[0]
+    else:
+        hotspots = _cluster_centers(rng, extent, n_hotspots)
+    masses = _zipf_weights(n_hotspots, zipf_exponent)
+    sx = hotspot_spread * extent.width
+    sy = hotspot_spread * extent.height
+
+    def density(x: float, y: float) -> float:
+        d2 = ((hotspots[:, 0] - x) / sx) ** 2 + ((hotspots[:, 1] - y) / sy) ** 2
+        return float((masses * np.exp(-0.5 * d2)).sum()) + 1e-6
+
+    # Max-heap keyed on region weight; heapq is a min-heap so negate.
+    def weight(r: tuple[float, float, float, float]) -> float:
+        cx = (r[0] + r[2]) / 2
+        cy = (r[1] + r[3]) / 2
+        return density(cx, cy) * (r[2] - r[0]) * (r[3] - r[1])
+
+    counter = 0
+    start = extent.as_tuple()
+    heap: list[tuple[float, int, tuple[float, float, float, float]]] = [
+        (-weight(start), counter, start)
+    ]
+    while len(heap) < n:
+        _, __, region = heapq.heappop(heap)
+        x0, y0, x1, y1 = region
+        # Split across the longer side at a jittered midpoint.
+        t = rng.uniform(0.35, 0.65)
+        if (x1 - x0) >= (y1 - y0):
+            xm = x0 + t * (x1 - x0)
+            parts = ((x0, y0, xm, y1), (xm, y0, x1, y1))
+        else:
+            ym = y0 + t * (y1 - y0)
+            parts = ((x0, y0, x1, ym), (x0, ym, x1, y1))
+        for part in parts:
+            counter += 1
+            heapq.heappush(heap, (-weight(part), counter, part))
+
+    regions = np.array([entry[2] for entry in heap], dtype=np.float64)[:n]
+    w = regions[:, 2] - regions[:, 0]
+    h = regions[:, 3] - regions[:, 1]
+    fx = rng.uniform(*shrink, size=n)
+    fy = rng.uniform(*shrink, size=n)
+    ox = rng.uniform(0, 1, size=n) * (1 - fx) * w
+    oy = rng.uniform(0, 1, size=n) * (1 - fy) * h
+    rects = RectArray(
+        regions[:, 0] + ox,
+        regions[:, 1] + oy,
+        regions[:, 0] + ox + fx * w,
+        regions[:, 1] + oy + fy * h,
+        validate=False,
+    )
+    return SpatialDataset(name, clamp_to_extent(rects, extent), extent)
+
+
+def make_roads_like(
+    n: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    extent: Optional[Rect] = None,
+    n_cities: int = 40,
+    zipf_exponent: float = 1.4,
+    spread_range: tuple[float, float] = (0.005, 0.05),
+    segment_mean: float = 0.003,
+    centers: Optional[np.ndarray] = None,
+    name: str = "roads",
+) -> SpatialDataset:
+    """Road-segment MBRs (CAR analogue): short axis-biased segments
+    around heavy-tailed city centers.
+
+    Urban road networks are grid-aligned, so each segment is horizontal
+    or vertical with small cross-axis jitter; city masses follow a Zipf
+    law, matching the extreme skew the paper reports for California.
+    Pass ``centers`` to pin the city locations (used to correlate the
+    CAR analogue with the CAS streams — real cities sit near rivers).
+    """
+    rng = as_generator(seed)
+    extent = extent or Rect.unit()
+    if centers is not None:
+        cities = np.asarray(centers, dtype=np.float64)
+        n_cities = cities.shape[0]
+    else:
+        cities = _cluster_centers(rng, extent, n_cities)
+    masses = _zipf_weights(n_cities, zipf_exponent)
+    assignment = rng.choice(n_cities, size=n, p=masses)
+    spreads = rng.uniform(*spread_range, size=n_cities)[assignment]
+    cx = reflect_into(
+        rng.normal(cities[assignment, 0], spreads * extent.width), extent.xmin, extent.xmax
+    )
+    cy = reflect_into(
+        rng.normal(cities[assignment, 1], spreads * extent.height), extent.ymin, extent.ymax
+    )
+    length = rng.exponential(segment_mean, size=n) * min(extent.width, extent.height)
+    thickness = length * rng.uniform(0.0, 0.15, size=n)
+    horizontal = rng.random(n) < 0.5
+    w = np.where(horizontal, length, thickness)
+    h = np.where(horizontal, thickness, length)
+    rects = RectArray.from_centers(cx, cy, w, h)
+    return SpatialDataset(name, clamp_to_extent(rects, extent), extent)
+
+
+def make_points_like(
+    n: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    extent: Optional[Rect] = None,
+    n_clusters: int = 20,
+    zipf_exponent: float = 1.1,
+    spread_range: tuple[float, float] = (0.01, 0.1),
+    name: str = "points",
+) -> SpatialDataset:
+    """Clustered zero-area MBRs (Sequoia SP analogue).
+
+    Point MBRs exercise the degenerate paths of every estimator: zero
+    coverage, zero average width/height, coincident GH corners.
+    """
+    rng = as_generator(seed)
+    extent = extent or Rect.unit()
+    centers = _cluster_centers(rng, extent, n_clusters)
+    masses = _zipf_weights(n_clusters, zipf_exponent)
+    assignment = rng.choice(n_clusters, size=n, p=masses)
+    spreads = rng.uniform(*spread_range, size=n_clusters)[assignment]
+    x = reflect_into(
+        rng.normal(centers[assignment, 0], spreads * extent.width), extent.xmin, extent.xmax
+    )
+    y = reflect_into(
+        rng.normal(centers[assignment, 1], spreads * extent.height), extent.ymin, extent.ymax
+    )
+    return SpatialDataset(name, RectArray.from_points(x, y), extent)
+
+
+def make_polygons_like(
+    n: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    extent: Optional[Rect] = None,
+    n_patches: int = 14,
+    zipf_exponent: float = 0.9,
+    mean_side: float = 0.012,
+    name: str = "polygons",
+) -> SpatialDataset:
+    """Landuse-polygon MBRs (Sequoia SPG analogue): patchy mid-size boxes."""
+    rng = as_generator(seed)
+    extent = extent or Rect.unit()
+    patches = _cluster_centers(rng, extent, n_patches)
+    masses = _zipf_weights(n_patches, zipf_exponent)
+    assignment = rng.choice(n_patches, size=n, p=masses)
+    spread = rng.uniform(0.03, 0.12, size=n_patches)[assignment]
+    cx = reflect_into(
+        rng.normal(patches[assignment, 0], spread * extent.width), extent.xmin, extent.xmax
+    )
+    cy = reflect_into(
+        rng.normal(patches[assignment, 1], spread * extent.height), extent.ymin, extent.ymax
+    )
+    # Log-normal sizes: most polygons small, a few big (parks, forests).
+    scale = min(extent.width, extent.height)
+    w = rng.lognormal(np.log(mean_side), 0.7, size=n) * scale
+    h = w * rng.uniform(0.5, 2.0, size=n)
+    rects = RectArray.from_centers(cx, cy, w, h)
+    return SpatialDataset(name, clamp_to_extent(rects, extent), extent)

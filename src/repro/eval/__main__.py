@@ -1,0 +1,136 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.eval fig6 [--scale 20] [--repeats 3] [--out FILE]
+    python -m repro.eval fig7 [--scale 20] [--levels 0-9] [--out FILE]
+    python -m repro.eval all  [--scale 20]
+
+``--scale`` divides the paper's dataset cardinalities (20 => ~10k-112k
+rectangles per dataset); smaller values are closer to paper scale but
+slower.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..datasets import paper_pairs
+from .figures import render_figure6, render_figure7
+from .harness import prepare_pairs, run_histogram_experiment, run_sampling_experiment
+
+__all__ = ["main"]
+
+
+def _parse_levels(spec: str) -> list[int]:
+    if "-" in spec:
+        lo, hi = spec.split("-", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(part) for part in spec.split(",")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the evaluation figures of "
+        "'Selectivity Estimation for Spatial Joins' (ICDE 2001).",
+    )
+    parser.add_argument("figure", choices=["datasets", "fig6", "fig7", "ablations", "stability", "all"])
+    parser.add_argument("--scale", type=float, default=20.0,
+                        help="divide paper dataset cardinalities by this (default 20)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="sampling repetitions per configuration (fig6)")
+    parser.add_argument("--levels", type=_parse_levels, default=list(range(10)),
+                        help="gridding levels for fig7, e.g. '0-9' or '0,3,5,7'")
+    parser.add_argument("--schemes", default="ph,gh",
+                        help="comma-separated histogram schemes for fig7")
+    parser.add_argument("--out", default=None, help="also write the report to this file")
+    parser.add_argument("--pairs", default=None,
+                        help="comma-separated subset of pairs, e.g. 'TS_TCB,SP_SPG'")
+    parser.add_argument("--csv", default=None, metavar="DIR",
+                        help="also write each section's rows as CSV into this directory")
+    parser.add_argument("--tree-build", choices=["str", "dynamic"], default="str",
+                        help="reference R-tree construction: bulk STR (default) or "
+                        "per-tuple insertion (the paper's setting; much slower)")
+    args = parser.parse_args(argv)
+
+    print(f"building paper dataset pairs (scale={args.scale:g}) ...", file=sys.stderr)
+    pairs = paper_pairs(scale=args.scale)
+    if args.pairs:
+        wanted = [name.strip() for name in args.pairs.split(",") if name.strip()]
+        unknown = sorted(set(wanted) - set(pairs))
+        if unknown:
+            parser.error(f"unknown pairs {unknown}; choose from {sorted(pairs)}")
+        pairs = {name: pairs[name] for name in wanted}
+    contexts = prepare_pairs(pairs, tree_build=args.tree_build)
+    for ctx in contexts:
+        print(
+            f"  {ctx.name}: |DS1|={len(ctx.ds1)} |DS2|={len(ctx.ds2)} "
+            f"true selectivity={ctx.actual_selectivity:.4e} "
+            f"(join {ctx.join_seconds:.2f}s, trees {ctx.build_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+
+    def maybe_csv(rows, name: str) -> None:
+        if args.csv and rows:
+            from .report import write_csv
+
+            target = write_csv(rows, f"{args.csv.rstrip('/')}/{name}.csv")
+            print(f"  wrote {target}", file=sys.stderr)
+
+    sections: list[str] = []
+    if args.figure in ("datasets", "all"):
+        from .inventory import render_inventory, run_inventory
+
+        dataset_rows, pair_rows = run_inventory(contexts)
+        sections.append(render_inventory(dataset_rows, pair_rows))
+        maybe_csv(dataset_rows, "datasets")
+        maybe_csv(pair_rows, "pairs")
+    if args.figure in ("fig6", "all"):
+        print("running sampling experiment (Figure 6) ...", file=sys.stderr)
+        cells = run_sampling_experiment(contexts, repeats=args.repeats)
+        sections.append(render_figure6(cells))
+        maybe_csv(cells, "figure6")
+    if args.figure in ("fig7", "all"):
+        print("running histogram experiment (Figure 7) ...", file=sys.stderr)
+        schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        cells = run_histogram_experiment(contexts, levels=args.levels, schemes=schemes)
+        sections.append(render_figure7(cells))
+        maybe_csv(cells, "figure7")
+    if args.figure in ("stability", "all"):
+        print("running sampling-stability experiment ...", file=sys.stderr)
+        from .stability import render_stability, run_stability_experiment
+
+        rows = run_stability_experiment(contexts)
+        sections.append(render_stability(rows))
+        maybe_csv(rows, "stability")
+    if args.figure in ("ablations", "all"):
+        print("running ablation studies (DESIGN.md §6) ...", file=sys.stderr)
+        from .ablations import (
+            render_ablations,
+            run_gh_variant_ablation,
+            run_packing_ablation,
+            run_ph_avgspan_ablation,
+            run_sample_join_ablation,
+        )
+
+        rows = (
+            run_gh_variant_ablation(contexts)
+            + run_ph_avgspan_ablation(contexts)
+            + run_sample_join_ablation(contexts)
+            + run_packing_ablation(contexts)
+        )
+        sections.append(render_ablations(rows))
+        maybe_csv(rows, "ablations")
+
+    report = "\n".join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

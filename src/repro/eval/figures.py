@@ -1,0 +1,90 @@
+"""Text rendering of the reproduced figures.
+
+The paper's Figures 6 and 7 are bar/line plots; in a terminal we render
+the same series as aligned tables — one block per join-pair panel, same
+x-axis order, same metrics — so paper-vs-measured comparison is a
+side-by-side read.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .harness import HistogramCell, SamplingCell
+
+__all__ = ["render_figure6", "render_figure7", "format_pct"]
+
+
+def format_pct(value: float) -> str:
+    """Compact percentage formatting across the 0.0001%..5000% range."""
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value >= 100:
+        return f"{value:.0f}%"
+    if value >= 1:
+        return f"{value:.1f}%"
+    if value >= 0.01:
+        return f"{value:.3f}%"
+    return f"{value:.1e}%"
+
+
+def _panel_order(cells: Iterable) -> list[str]:
+    seen: list[str] = []
+    for cell in cells:
+        if cell.pair not in seen:
+            seen.append(cell.pair)
+    return seen
+
+
+def render_figure6(cells: Sequence[SamplingCell]) -> str:
+    """Render the sampling experiment in the layout of Figure 6."""
+    by_pair: dict[str, list[SamplingCell]] = defaultdict(list)
+    for cell in cells:
+        by_pair[cell.pair].append(cell)
+    out: list[str] = []
+    for pair in _panel_order(cells):
+        out.append(f"Figure 6 — {pair} (sampling techniques)")
+        out.append(f"{'combo':>9} {'method':>6} {'error':>10} {'est.time1':>10} {'est.time2':>10}")
+        combo_order: list[str] = []
+        for cell in by_pair[pair]:
+            if cell.combo not in combo_order:
+                combo_order.append(cell.combo)
+        for combo in combo_order:
+            for cell in by_pair[pair]:
+                if cell.combo != combo:
+                    continue
+                out.append(
+                    f"{cell.combo:>9} {cell.method.upper():>6} "
+                    f"{format_pct(cell.error_pct):>10} "
+                    f"{format_pct(cell.est_time1_pct):>10} "
+                    f"{format_pct(cell.est_time2_pct):>10}"
+                )
+        out.append("")
+    return "\n".join(out)
+
+
+def render_figure7(cells: Sequence[HistogramCell]) -> str:
+    """Render the histogram experiment in the layout of Figure 7."""
+    by_pair: dict[str, list[HistogramCell]] = defaultdict(list)
+    for cell in cells:
+        by_pair[cell.pair].append(cell)
+    out: list[str] = []
+    for pair in _panel_order(cells):
+        out.append(f"Figure 7 — {pair} (histogram techniques)")
+        out.append(
+            f"{'scheme':>8} {'level':>5} {'error':>10} {'est.time':>10} "
+            f"{'bld.time':>10} {'space':>10}"
+        )
+        for cell in by_pair[pair]:
+            out.append(
+                f"{cell.scheme.upper():>8} {cell.level:>5} "
+                f"{format_pct(cell.error_pct):>10} "
+                f"{format_pct(cell.est_time_pct):>10} "
+                f"{format_pct(cell.build_time_pct):>10} "
+                f"{format_pct(cell.space_pct):>10}"
+            )
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,100 @@
+"""Dataset-inventory report.
+
+The paper's statistics on the actual joins and R-trees live in its
+companion technical report [1]; this module regenerates the equivalent
+inventory for our (scaled) analogues: per-dataset summary statistics and
+per-pair ground truth, so every experiment's inputs are inspectable
+(``python -m repro.eval datasets``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .harness import PairContext
+
+__all__ = ["DatasetRow", "PairRow", "run_inventory", "render_inventory"]
+
+
+@dataclass(frozen=True)
+class DatasetRow:
+    """Summary statistics of one dataset (the Equation 1 parameters)."""
+
+    name: str
+    count: int
+    coverage: float
+    avg_width: float
+    avg_height: float
+
+
+@dataclass(frozen=True)
+class PairRow:
+    """Ground truth of one join pair."""
+
+    pair: str
+    count1: int
+    count2: int
+    actual_pairs: int
+    actual_selectivity: float
+    join_seconds: float
+    rtree_build_seconds: float
+    rtree_bytes: int
+
+
+def run_inventory(
+    contexts: Iterable[PairContext],
+) -> tuple[list[DatasetRow], list[PairRow]]:
+    """Collect dataset summaries and pair ground truths."""
+    dataset_rows: dict[str, DatasetRow] = {}
+    pair_rows: list[PairRow] = []
+    for ctx in contexts:
+        for ds in (ctx.ds1, ctx.ds2):
+            if ds.name not in dataset_rows:
+                summary = ds.summary()
+                dataset_rows[ds.name] = DatasetRow(
+                    name=ds.name,
+                    count=summary.count,
+                    coverage=summary.coverage,
+                    avg_width=summary.avg_width,
+                    avg_height=summary.avg_height,
+                )
+        pair_rows.append(
+            PairRow(
+                pair=ctx.name,
+                count1=len(ctx.ds1),
+                count2=len(ctx.ds2),
+                actual_pairs=ctx.actual_pairs,
+                actual_selectivity=ctx.actual_selectivity,
+                join_seconds=ctx.join_seconds,
+                rtree_build_seconds=ctx.build_seconds,
+                rtree_bytes=ctx.rtree_bytes,
+            )
+        )
+    return list(dataset_rows.values()), pair_rows
+
+
+def render_inventory(
+    dataset_rows: Sequence[DatasetRow], pair_rows: Sequence[PairRow]
+) -> str:
+    """Two aligned tables: datasets, then join pairs."""
+    out = ["Datasets"]
+    out.append(f"{'name':>6} {'count':>9} {'coverage':>9} {'avg W':>10} {'avg H':>10}")
+    for row in dataset_rows:
+        out.append(
+            f"{row.name:>6} {row.count:>9} {row.coverage:>9.4f} "
+            f"{row.avg_width:>10.2e} {row.avg_height:>10.2e}"
+        )
+    out.append("")
+    out.append("Join pairs (ground truth)")
+    out.append(
+        f"{'pair':>10} {'|DS1|':>8} {'|DS2|':>8} {'pairs':>9} "
+        f"{'selectivity':>12} {'join s':>8} {'tree s':>8} {'tree MB':>8}"
+    )
+    for row in pair_rows:
+        out.append(
+            f"{row.pair:>10} {row.count1:>8} {row.count2:>8} {row.actual_pairs:>9} "
+            f"{row.actual_selectivity:>12.4e} {row.join_seconds:>8.3f} "
+            f"{row.rtree_build_seconds:>8.3f} {row.rtree_bytes / 1048576:>8.2f}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,42 @@
+"""Machine-readable experiment output.
+
+The text renderers target eyeballs; :func:`write_csv` dumps any of the
+harness's dataclass rows (``SamplingCell``, ``HistogramCell``,
+``AblationRow``, ``StabilityRow``) to CSV for plotting pipelines —
+``python -m repro.eval all --csv results/`` writes one file per section.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["write_csv"]
+
+
+def write_csv(rows: Sequence, path: str | os.PathLike) -> Path:
+    """Write a sequence of (same-type) dataclass rows as CSV.
+
+    Returns the resolved path.  An empty sequence produces a header-less
+    empty file is ambiguous, so it is rejected instead.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("write_csv needs at least one row")
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"rows must be dataclasses, got {type(first).__name__}")
+    if any(type(row) is not type(first) for row in rows):
+        raise TypeError("all rows must have the same type")
+    fields = [f.name for f in dataclasses.fields(first)]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dataclasses.asdict(row))
+    return path

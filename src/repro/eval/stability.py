@@ -1,0 +1,93 @@
+"""Sampling-stability experiment.
+
+Section 4.3 observes that sampling estimates are "unstable, i.e. ...
+highly dataset and sample dependent, and it is difficult to draw
+concrete conclusions".  This experiment quantifies that claim: for each
+pair and sample-size combination it repeats RSWR estimation with
+independent draws and reports the mean error plus the spread
+(confidence-interval half-width relative to the mean), then contrasts
+it with GH — whose estimate is deterministic (zero spread) once the
+histogram is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.metrics import relative_error_pct
+from ..core.workload import SampleCombo
+from ..histograms import GHHistogram
+from ..sampling import SamplingJoinEstimator
+from .harness import PairContext
+
+__all__ = ["StabilityRow", "run_stability_experiment", "render_stability"]
+
+DEFAULT_COMBOS = (SampleCombo(1, 1), SampleCombo(5, 5), SampleCombo(10, 10))
+
+
+@dataclass(frozen=True)
+class StabilityRow:
+    """Spread of one estimator configuration on one pair."""
+
+    pair: str
+    technique: str
+    mean_error_pct: float
+    spread_pct: float  #: CI half-width relative to the mean estimate (%)
+
+
+def run_stability_experiment(
+    contexts: Iterable[PairContext],
+    *,
+    combos: Sequence[SampleCombo] = DEFAULT_COMBOS,
+    repeats: int = 10,
+    gh_level: int = 7,
+) -> list[StabilityRow]:
+    """Compare RSWR spread against deterministic GH, per pair."""
+    rows: list[StabilityRow] = []
+    for ctx in contexts:
+        for combo in combos:
+            estimator = SamplingJoinEstimator(
+                "rswr", combo.fraction1, combo.fraction2, seed=1
+            )
+            ci = estimator.estimate_with_confidence(
+                ctx.ds1, ctx.ds2, repeats=repeats
+            )
+            rows.append(
+                StabilityRow(
+                    pair=ctx.name,
+                    technique=f"rswr {combo.label}",
+                    mean_error_pct=relative_error_pct(ci.mean, ctx.actual_selectivity),
+                    spread_pct=100.0 * ci.relative_halfwidth,
+                )
+            )
+        h1 = GHHistogram.build(ctx.ds1, gh_level, extent=ctx.ds1.extent)
+        h2 = GHHistogram.build(ctx.ds2, gh_level, extent=ctx.ds1.extent)
+        rows.append(
+            StabilityRow(
+                pair=ctx.name,
+                technique=f"gh h={gh_level}",
+                mean_error_pct=relative_error_pct(
+                    h1.estimate_selectivity(h2), ctx.actual_selectivity
+                ),
+                spread_pct=0.0,  # deterministic given the histogram files
+            )
+        )
+    return rows
+
+
+def render_stability(rows: Sequence[StabilityRow]) -> str:
+    """Aligned text table, one block per pair."""
+    out: list[str] = []
+    current = None
+    for row in rows:
+        if row.pair != current:
+            if current is not None:
+                out.append("")
+            out.append(f"Stability — {row.pair} (mean error / run-to-run spread)")
+            out.append(f"{'technique':>14} {'mean error':>11} {'spread':>9}")
+            current = row.pair
+        out.append(
+            f"{row.technique:>14} {row.mean_error_pct:>10.1f}% {row.spread_pct:>8.1f}%"
+        )
+    return "\n".join(out)

@@ -1,0 +1,32 @@
+"""Fractal / power-law selectivity baselines for point datasets.
+
+Implements the parametric related work the paper positions its
+histograms against: the correlation-fractal-dimension self-join
+estimator (Belussi & Faloutsos — reference [6]) and the cross power-law
+estimator (Faloutsos et al. — reference [8]), both built on box-counting
+statistics.
+"""
+
+from .boxcount import (
+    OccupancyPoint,
+    box_occupancies,
+    occupancy_profile,
+    sum_squared_occupancy,
+)
+from .powerlaw import (
+    CorrelationDimensionEstimator,
+    CrossPowerLawEstimator,
+    PowerLawFit,
+    pairs_within_distance,
+)
+
+__all__ = [
+    "box_occupancies",
+    "sum_squared_occupancy",
+    "occupancy_profile",
+    "OccupancyPoint",
+    "PowerLawFit",
+    "CorrelationDimensionEstimator",
+    "CrossPowerLawEstimator",
+    "pairs_within_distance",
+]

@@ -1,0 +1,203 @@
+"""Power-law (fractal) selectivity estimators for point datasets.
+
+These implement the two parametric baselines the paper's related-work
+section positions its histograms against:
+
+* **Self-join** (Belussi & Faloutsos, TOIS '98 — the paper's [6]):
+  the number of point pairs within L∞ distance ``eps`` of a
+  self-similar dataset follows ``PC(eps) ≈ K * eps^D2`` with ``D2`` the
+  correlation fractal dimension; both ``K`` and ``D2`` are fitted from
+  the box-counting curve ``S2(r)``.
+* **Cross-join** (Faloutsos, Seeger, Traina & Traina, SIGMOD 2000 — the
+  paper's [8]): the cross pair-count function of two point datasets
+  obeys a power law ``PC_ab(eps) ≈ K * eps^p``; here it is fitted from
+  the cross box product ``B(r) = sum_i n_i(r) * m_i(r)``.
+
+Both are *parametric* techniques in the paper's taxonomy: they assume a
+law the data may not follow and only apply to point data — exactly the
+restrictions the histogram schemes remove.  They are implemented to
+serve as honest baselines (see ``benchmarks/bench_fractal_baseline.py``).
+
+The spatial predicate estimated here is "within L∞ distance ``eps``",
+which for points is equivalent to the paper's MBR-intersection predicate
+after buffering each point into an ``eps x eps`` square.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets import SpatialDataset
+from ..histograms import Grid
+
+__all__ = [
+    "PowerLawFit",
+    "CorrelationDimensionEstimator",
+    "CrossPowerLawEstimator",
+    "pairs_within_distance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """A fitted law ``value(eps) = exp(intercept) * eps**exponent``."""
+
+    exponent: float
+    intercept: float
+
+    def __call__(self, eps: float) -> float:
+        if eps <= 0:
+            return 0.0
+        return float(np.exp(self.intercept) * eps**self.exponent)
+
+
+def _fit_power_law(sides: np.ndarray, values: np.ndarray) -> PowerLawFit:
+    """Least-squares line in log-log space (positive values only)."""
+    mask = values > 0
+    if mask.sum() < 2:
+        raise ValueError(
+            "power-law fit needs at least two resolutions with positive counts"
+        )
+    logs = np.log(sides[mask])
+    logv = np.log(values[mask])
+    exponent, intercept = np.polyfit(logs, logv, deg=1)
+    return PowerLawFit(exponent=float(exponent), intercept=float(intercept))
+
+
+def _require_points(dataset: SpatialDataset) -> None:
+    if len(dataset) and float(dataset.rects.areas().max()) > 0:
+        raise ValueError(
+            "fractal estimators apply to point datasets only "
+            "(the restriction the paper's histogram schemes remove)"
+        )
+
+
+class CorrelationDimensionEstimator:
+    """Self-join estimator via the correlation fractal dimension ([6]).
+
+    Fits ``S2(r) - N ≈ K * r^D2`` over the box-counting curve;
+    ``S2(r) - N`` counts ordered *distinct* same-cell pairs, the proxy
+    for pairs within distance ``r``.
+    """
+
+    def __init__(
+        self, dataset: SpatialDataset, *, levels: Sequence[int] = tuple(range(2, 9))
+    ) -> None:
+        _require_points(dataset)
+        if len(dataset) < 2:
+            raise ValueError("need at least two points")
+        from .boxcount import occupancy_profile
+
+        self.dataset = dataset
+        self.count = len(dataset)
+        profile = occupancy_profile(dataset, levels)
+        sides = np.array([p.cell_side for p in profile])
+        distinct_pairs = np.array([p.s2 - self.count for p in profile])
+        self.fit = _fit_power_law(sides, distinct_pairs)
+
+    @property
+    def correlation_dimension(self) -> float:
+        """The fitted ``D2`` (2 = uniform plane, 1 = curve, 0 = atoms)."""
+        return self.fit.exponent
+
+    def estimate_pairs(self, eps: float) -> float:
+        """Ordered distinct pairs within L∞ distance ``eps``.
+
+        The box-counting curve is evaluated at side ``2 * eps``: a box of
+        side ``s`` captures pairs at L∞ distances up to ``s``, while the
+        distance-``eps`` neighbourhood of a point has diameter ``2*eps``
+        (the same diameter-vs-radius constant appears in Belussi &
+        Faloutsos' derivation).
+        """
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        return self.fit(2.0 * eps)
+
+    def estimate_selectivity(self, eps: float) -> float:
+        """Self-join selectivity (ordered distinct pairs / N^2)."""
+        return self.estimate_pairs(eps) / (self.count * self.count)
+
+
+class CrossPowerLawEstimator:
+    """Two-dataset estimator via the cross power law ([8]).
+
+    Fits ``B(r) = sum_cells n_i * m_i ≈ K * r^p`` on a shared grid;
+    ``B(r)`` counts cross pairs co-located at resolution ``r``.
+    """
+
+    def __init__(
+        self,
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        *,
+        levels: Sequence[int] = tuple(range(2, 9)),
+    ) -> None:
+        _require_points(ds1)
+        _require_points(ds2)
+        if ds1.extent != ds2.extent:
+            raise ValueError("datasets must share a common extent")
+        if not len(ds1) or not len(ds2):
+            raise ValueError("need non-empty datasets")
+        from .boxcount import box_occupancies
+
+        self.count1 = len(ds1)
+        self.count2 = len(ds2)
+        sides = []
+        cross = []
+        for level in levels:
+            grid = Grid(ds1.extent, level)
+            occ1 = box_occupancies(ds1, level).astype(np.float64)
+            occ2 = box_occupancies(ds2, level).astype(np.float64)
+            sides.append(float(np.sqrt(grid.cell_width * grid.cell_height)))
+            cross.append(float((occ1 * occ2).sum()))
+        self.fit = _fit_power_law(np.array(sides), np.array(cross))
+
+    @property
+    def pair_count_exponent(self) -> float:
+        """The fitted exponent ``p`` of the pair-count law."""
+        return self.fit.exponent
+
+    def estimate_pairs(self, eps: float) -> float:
+        """Cross pairs within L∞ distance ``eps`` (law at side ``2*eps``,
+        the diameter of a distance-``eps`` neighbourhood)."""
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        return self.fit(2.0 * eps)
+
+    def estimate_selectivity(self, eps: float) -> float:
+        """Cross-join selectivity (pairs / (N1 * N2))."""
+        return self.estimate_pairs(eps) / (self.count1 * self.count2)
+
+
+def pairs_within_distance(
+    ds1: SpatialDataset, ds2: SpatialDataset | None, eps: float
+) -> int:
+    """Ground truth: pairs with L∞ distance ≤ ``eps`` (exact).
+
+    Equivalent to buffering each point of ``ds1`` into an ``eps x eps``
+    square and joining with the raw points of ``ds2``.  For self joins
+    (``ds2 is None``) the N identical pairs on the diagonal are
+    excluded, matching :class:`CorrelationDimensionEstimator`.
+    """
+    from ..geometry import RectArray
+    from ..join import join_count
+
+    _require_points(ds1)
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+
+    def buffered(ds: SpatialDataset) -> RectArray:
+        # |p - q|_inf <= eps  <=>  the eps/2-buffered squares intersect.
+        x, y = ds.rects.centers()
+        return RectArray(
+            x - eps / 2, y - eps / 2, x + eps / 2, y + eps / 2, validate=False
+        )
+
+    if ds2 is None:
+        count = join_count(buffered(ds1), buffered(ds1)) - len(ds1)
+        return max(count, 0)
+    _require_points(ds2)
+    return join_count(buffered(ds1), buffered(ds2))

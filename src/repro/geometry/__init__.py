@@ -1,0 +1,41 @@
+"""Geometry kernel: rectangles, bulk rectangle arrays, predicates, extents.
+
+Everything in the library is built on axis-parallel rectangles (MBRs);
+this package is the lowest layer of the substrate.
+"""
+
+from .mbr import points_mbrs, polygon_mbrs, polyline_mbrs, segment_mbrs
+from .extent import NormalizationTransform, common_extent, normalize_to_unit, pad_extent
+from .predicates import (
+    IntersectionPointBreakdown,
+    classify_intersection_points,
+    count_corner_containments,
+    count_edge_crossings,
+    intersection_points,
+    intersection_rect,
+    pairwise_intersection_mask,
+    rects_intersect,
+)
+from .rect import Rect
+from .rectarray import RectArray
+
+__all__ = [
+    "Rect",
+    "RectArray",
+    "rects_intersect",
+    "intersection_rect",
+    "intersection_points",
+    "IntersectionPointBreakdown",
+    "classify_intersection_points",
+    "count_corner_containments",
+    "count_edge_crossings",
+    "pairwise_intersection_mask",
+    "common_extent",
+    "pad_extent",
+    "normalize_to_unit",
+    "NormalizationTransform",
+    "points_mbrs",
+    "polyline_mbrs",
+    "segment_mbrs",
+    "polygon_mbrs",
+]

@@ -1,0 +1,120 @@
+"""Spatial-extent handling and normalization.
+
+Histogram construction grids a *common* spatial extent shared by the two
+datasets being joined; sampling and parametric formulas likewise need the
+total extent area ``A`` (Section 3.1, Equation 1).  This module provides
+the helpers that compute and normalize extents so estimators can assume a
+well-formed, non-degenerate universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rect import Rect
+from .rectarray import RectArray
+
+__all__ = [
+    "common_extent",
+    "pad_extent",
+    "normalize_to_unit",
+    "NormalizationTransform",
+]
+
+
+def common_extent(*arrays: RectArray, pad_fraction: float = 0.0) -> Rect:
+    """The MBR covering every rectangle of every input array.
+
+    ``pad_fraction`` optionally grows the extent symmetrically (e.g. 0.01
+    adds a 1% margin on each side) which keeps boundary rectangles away
+    from the last grid line.  Degenerate extents (all data on one point or
+    line) are widened to a small non-zero size so that cell areas stay
+    positive.
+    """
+    non_empty = [a for a in arrays if len(a)]
+    if not non_empty:
+        raise ValueError("common_extent() requires at least one non-empty RectArray")
+    xmin = min(float(a.xmin.min()) for a in non_empty)
+    ymin = min(float(a.ymin.min()) for a in non_empty)
+    xmax = max(float(a.xmax.max()) for a in non_empty)
+    ymax = max(float(a.ymax.max()) for a in non_empty)
+    extent = Rect(xmin, ymin, xmax, ymax)
+    if pad_fraction:
+        extent = pad_extent(extent, pad_fraction)
+    return _widen_if_degenerate(extent)
+
+
+def pad_extent(extent: Rect, fraction: float) -> Rect:
+    """Grow ``extent`` by ``fraction`` of its width/height on every side."""
+    if fraction < 0:
+        raise ValueError("pad fraction must be non-negative")
+    return Rect(
+        extent.xmin - extent.width * fraction,
+        extent.ymin - extent.height * fraction,
+        extent.xmax + extent.width * fraction,
+        extent.ymax + extent.height * fraction,
+    )
+
+
+def _widen_if_degenerate(extent: Rect, minimum: float = 1e-9) -> Rect:
+    """Ensure both sides of the extent are strictly positive."""
+    xmin, ymin, xmax, ymax = extent.as_tuple()
+    if xmax - xmin < minimum:
+        half = max(minimum, abs(xmin) * 1e-12 + minimum) / 2
+        xmin, xmax = xmin - half, xmax + half
+    if ymax - ymin < minimum:
+        half = max(minimum, abs(ymin) * 1e-12 + minimum) / 2
+        ymin, ymax = ymin - half, ymax + half
+    return Rect(xmin, ymin, xmax, ymax)
+
+
+class NormalizationTransform:
+    """Affine map sending an arbitrary extent onto the unit square.
+
+    Selectivity is invariant under this map (it is a bijection on pairs),
+    so estimators may normalize freely; the transform is kept around so
+    results can be mapped back for display.
+    """
+
+    __slots__ = ("source", "_sx", "_sy")
+
+    def __init__(self, source: Rect) -> None:
+        source = _widen_if_degenerate(source)
+        self.source = source
+        self._sx = 1.0 / source.width
+        self._sy = 1.0 / source.height
+
+    def apply(self, rects: RectArray) -> RectArray:
+        """Map a rectangle array into the unit square."""
+        return RectArray(
+            (rects.xmin - self.source.xmin) * self._sx,
+            (rects.ymin - self.source.ymin) * self._sy,
+            (rects.xmax - self.source.xmin) * self._sx,
+            (rects.ymax - self.source.ymin) * self._sy,
+            validate=False,
+        )
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Map a single rectangle into the unit square."""
+        return Rect(
+            (rect.xmin - self.source.xmin) * self._sx,
+            (rect.ymin - self.source.ymin) * self._sy,
+            (rect.xmax - self.source.xmin) * self._sx,
+            (rect.ymax - self.source.ymin) * self._sy,
+        )
+
+    def invert(self, rects: RectArray) -> RectArray:
+        """Map unit-square rectangles back to the source extent."""
+        return RectArray(
+            rects.xmin / self._sx + self.source.xmin,
+            rects.ymin / self._sy + self.source.ymin,
+            rects.xmax / self._sx + self.source.xmin,
+            rects.ymax / self._sy + self.source.ymin,
+            validate=False,
+        )
+
+
+def normalize_to_unit(*arrays: RectArray) -> tuple[list[RectArray], NormalizationTransform]:
+    """Map all input arrays into the unit square with one shared transform."""
+    transform = NormalizationTransform(common_extent(*arrays))
+    return [transform.apply(a) for a in arrays], transform

@@ -1,0 +1,208 @@
+"""Axis-parallel rectangle value type.
+
+The paper (like most of the spatial-join literature) works entirely with
+Minimum Bounding Rectangles (MBRs): axis-parallel rectangles in a 2-D
+extent.  ``Rect`` is the scalar value type used throughout the library for
+single rectangles; bulk data lives in :class:`repro.geometry.RectArray`.
+
+Conventions
+-----------
+* A rectangle is the closed region ``[xmin, xmax] x [ymin, ymax]``.
+* Degenerate rectangles are allowed: a point has ``xmin == xmax`` and
+  ``ymin == ymax`` (the Sequoia ``SP`` dataset in the paper consists of
+  points), and zero-width/zero-height rectangles model horizontal or
+  vertical segments.
+* Intersection is *closed*: rectangles that merely touch (share an edge or
+  a corner) intersect.  This matches the MBR-filter-step semantics used by
+  R-tree joins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-parallel rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Raises :class:`ValueError` on construction if ``xmin > xmax`` or
+    ``ymin > ymax`` or any coordinate is NaN.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        for value in (self.xmin, self.ymin, self.xmax, self.ymax):
+            if math.isnan(value):
+                raise ValueError(f"Rect coordinates must not be NaN: {self!r}")
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"Rect must have xmin <= xmax and ymin <= ymax, got "
+                f"({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0)
+
+    @classmethod
+    def from_points(cls, x1: float, y1: float, x2: float, y2: float) -> "Rect":
+        """Build the bounding rectangle of two arbitrary points."""
+        return cls(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """A degenerate rectangle covering the single point ``(x, y)``."""
+        return cls(x, y, x, y)
+
+    @classmethod
+    def unit(cls) -> "Rect":
+        """The unit square ``[0, 1] x [0, 1]`` (the paper's synthetic extent)."""
+        return cls(0.0, 0.0, 1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def is_point(self) -> bool:
+        return self.xmin == self.xmax and self.ymin == self.ymax
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True if the rectangle has zero area (a point or a segment)."""
+        return self.xmin == self.xmax or self.ymin == self.ymax
+
+    def corners(self) -> Tuple[Tuple[float, float], ...]:
+        """The four corner points, counter-clockwise from ``(xmin, ymin)``.
+
+        Degenerate rectangles still report four (possibly coincident)
+        corners; the GH scheme relies on every MBR contributing exactly
+        four corner points to the histogram.
+        """
+        return (
+            (self.xmin, self.ymin),
+            (self.xmax, self.ymin),
+            (self.xmax, self.ymax),
+            (self.xmin, self.ymax),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-interval intersection test (touching counts)."""
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies in the closed rectangle."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this (closed) rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The intersection rectangle, or ``None`` if disjoint.
+
+        When two MBRs intersect, the result is always another rectangle
+        (possibly degenerate when they merely touch); its four corners are
+        the "intersecting points" that the GH scheme counts.
+        """
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmin > xmax or ymin > ymax:
+            return None
+        return Rect(xmin, ymin, xmax, ymax)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle containing both inputs (MBR of the union)."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to cover ``other`` (the Guttman insert metric)."""
+        return self.union(other).area - self.area
+
+    def translate(self, dx: float, dy: float) -> "Rect":
+        """The rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def scale(self, sx: float, sy: float | None = None) -> "Rect":
+        """Scale about the origin. Negative factors are rejected."""
+        if sy is None:
+            sy = sx
+        if sx < 0 or sy < 0:
+            raise ValueError("scale factors must be non-negative")
+        return Rect(self.xmin * sx, self.ymin * sy, self.xmax * sx, self.ymax * sy)
+
+    def buffer(self, margin: float) -> "Rect":
+        """Grow (or shrink, margin < 0) the rectangle on all sides."""
+        grown = Rect.from_points(
+            self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin
+        )
+        if margin < 0 and (self.width < -2 * margin or self.height < -2 * margin):
+            raise ValueError("buffer margin shrinks the rectangle past empty")
+        return grown
+
+    # ------------------------------------------------------------------
+    # Misc protocol support
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """The coordinates as ``(xmin, ymin, xmax, ymax)``."""
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())

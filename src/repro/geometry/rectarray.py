@@ -1,0 +1,254 @@
+"""Vectorized storage for bulk rectangle data.
+
+All dataset-scale operations in the library (histogram construction,
+join counting, sampling) work on :class:`RectArray`, a struct-of-arrays
+container holding the four coordinate arrays as contiguous float64 numpy
+vectors.  This keeps the per-rectangle Python overhead out of every hot
+path and lets the estimators express their math as whole-array kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["RectArray"]
+
+
+class RectArray:
+    """An immutable-by-convention array of ``n`` axis-parallel rectangles.
+
+    The coordinate arrays are owned by the instance; callers must not
+    mutate them.  Invalid rectangles (``xmin > xmax`` etc.) are rejected
+    at construction unless ``validate=False``.
+    """
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(
+        self,
+        xmin: np.ndarray,
+        ymin: np.ndarray,
+        xmax: np.ndarray,
+        ymax: np.ndarray,
+        *,
+        validate: bool = True,
+        copy: bool = True,
+    ) -> None:
+        self.xmin = np.array(xmin, dtype=np.float64, copy=copy).ravel()
+        self.ymin = np.array(ymin, dtype=np.float64, copy=copy).ravel()
+        self.xmax = np.array(xmax, dtype=np.float64, copy=copy).ravel()
+        self.ymax = np.array(ymax, dtype=np.float64, copy=copy).ravel()
+        n = len(self.xmin)
+        if not (len(self.ymin) == len(self.xmax) == len(self.ymax) == n):
+            raise ValueError("coordinate arrays must have equal length")
+        if validate and n:
+            if np.isnan(self.xmin).any() or np.isnan(self.ymin).any() or np.isnan(
+                self.xmax
+            ).any() or np.isnan(self.ymax).any():
+                raise ValueError("RectArray coordinates must not contain NaN")
+            if (self.xmin > self.xmax).any() or (self.ymin > self.ymax).any():
+                bad = int(np.argmax((self.xmin > self.xmax) | (self.ymin > self.ymax)))
+                raise ValueError(f"invalid rectangle at index {bad}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RectArray":
+        z = np.empty(0, dtype=np.float64)
+        return cls(z, z, z, z, validate=False, copy=False)
+
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect]) -> "RectArray":
+        rect_list = list(rects)
+        if not rect_list:
+            return cls.empty()
+        coords = np.array([r.as_tuple() for r in rect_list], dtype=np.float64)
+        return cls(coords[:, 0], coords[:, 1], coords[:, 2], coords[:, 3], copy=False)
+
+    @classmethod
+    def from_coords(cls, coords: np.ndarray | Sequence[Sequence[float]]) -> "RectArray":
+        """Build from an ``(n, 4)`` array of ``(xmin, ymin, xmax, ymax)`` rows."""
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.size == 0:
+            return cls.empty()
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValueError(f"expected an (n, 4) array, got shape {arr.shape}")
+        return cls(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+
+    @classmethod
+    def from_centers(
+        cls,
+        cx: np.ndarray,
+        cy: np.ndarray,
+        width: np.ndarray | float,
+        height: np.ndarray | float,
+    ) -> "RectArray":
+        """Build from center points and (broadcastable) side lengths."""
+        cx = np.asarray(cx, dtype=np.float64)
+        cy = np.asarray(cy, dtype=np.float64)
+        w = np.broadcast_to(np.asarray(width, dtype=np.float64), cx.shape)
+        h = np.broadcast_to(np.asarray(height, dtype=np.float64), cy.shape)
+        if (w < 0).any() or (h < 0).any():
+            raise ValueError("widths and heights must be non-negative")
+        return cls(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2, validate=False)
+
+    @classmethod
+    def from_points(cls, x: np.ndarray, y: np.ndarray) -> "RectArray":
+        """Degenerate (zero-area) rectangles — one per point."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        return cls(x, y, x, y)
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["RectArray"]) -> "RectArray":
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.xmin for p in parts]),
+            np.concatenate([p.ymin for p in parts]),
+            np.concatenate([p.xmax for p in parts]),
+            np.concatenate([p.ymax for p in parts]),
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.xmin)
+
+    def __getitem__(self, index):
+        """Integer index -> :class:`Rect`; slice/mask/array -> :class:`RectArray`."""
+        if isinstance(index, (int, np.integer)):
+            return Rect(
+                float(self.xmin[index]),
+                float(self.ymin[index]),
+                float(self.xmax[index]),
+                float(self.ymax[index]),
+            )
+        return RectArray(
+            self.xmin[index],
+            self.ymin[index],
+            self.xmax[index],
+            self.ymax[index],
+            validate=False,
+        )
+
+    def __iter__(self) -> Iterator[Rect]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __repr__(self) -> str:
+        return f"RectArray(n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectArray):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and bool(np.array_equal(self.xmin, other.xmin))
+            and bool(np.array_equal(self.ymin, other.ymin))
+            and bool(np.array_equal(self.xmax, other.xmax))
+            and bool(np.array_equal(self.ymax, other.ymax))
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def widths(self) -> np.ndarray:
+        """Per-rectangle widths."""
+        return self.xmax - self.xmin
+
+    def heights(self) -> np.ndarray:
+        """Per-rectangle heights."""
+        return self.ymax - self.ymin
+
+    def areas(self) -> np.ndarray:
+        """Per-rectangle areas."""
+        return self.widths() * self.heights()
+
+    def centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Center coordinates as an ``(cx, cy)`` array pair."""
+        return (self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0
+
+    def total_area(self) -> float:
+        """Sum of individual areas (overlaps counted multiply) — the
+        numerator of the paper's *data coverage* parameter ``C_k``."""
+        return float(self.areas().sum())
+
+    def bounds(self) -> Rect:
+        """The MBR of the whole collection. Raises on an empty array."""
+        if not len(self):
+            raise ValueError("bounds() of an empty RectArray")
+        return Rect(
+            float(self.xmin.min()),
+            float(self.ymin.min()),
+            float(self.xmax.max()),
+            float(self.ymax.max()),
+        )
+
+    def as_coords(self) -> np.ndarray:
+        """An ``(n, 4)`` copy of the coordinates."""
+        return np.stack([self.xmin, self.ymin, self.xmax, self.ymax], axis=1)
+
+    # ------------------------------------------------------------------
+    # Vectorized predicates
+    # ------------------------------------------------------------------
+    def intersects_rect(self, rect: Rect) -> np.ndarray:
+        """Boolean mask of rectangles intersecting ``rect`` (closed)."""
+        return (
+            (self.xmin <= rect.xmax)
+            & (rect.xmin <= self.xmax)
+            & (self.ymin <= rect.ymax)
+            & (rect.ymin <= self.ymax)
+        )
+
+    def contained_in_rect(self, rect: Rect) -> np.ndarray:
+        """Boolean mask of rectangles fully inside ``rect`` (closed)."""
+        return (
+            (self.xmin >= rect.xmin)
+            & (self.ymin >= rect.ymin)
+            & (self.xmax <= rect.xmax)
+            & (self.ymax <= rect.ymax)
+        )
+
+    def clip_to(self, rect: Rect) -> "RectArray":
+        """Clip every rectangle to ``rect``.
+
+        Only valid for rectangles that intersect ``rect``; callers should
+        filter with :meth:`intersects_rect` first (an exception is raised
+        if any result would be empty).
+        """
+        out = RectArray(
+            np.maximum(self.xmin, rect.xmin),
+            np.maximum(self.ymin, rect.ymin),
+            np.minimum(self.xmax, rect.xmax),
+            np.minimum(self.ymax, rect.ymax),
+            validate=False,
+        )
+        if len(out) and ((out.xmin > out.xmax).any() or (out.ymin > out.ymax).any()):
+            raise ValueError("clip_to() called with rectangles disjoint from rect")
+        return out
+
+    def translate(self, dx: float, dy: float) -> "RectArray":
+        """Every rectangle shifted by ``(dx, dy)``."""
+        return RectArray(
+            self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy, validate=False
+        )
+
+    def scale(self, sx: float, sy: float | None = None) -> "RectArray":
+        """Every rectangle scaled about the origin (``sy`` defaults to ``sx``)."""
+        if sy is None:
+            sy = sx
+        if sx < 0 or sy < 0:
+            raise ValueError("scale factors must be non-negative")
+        return RectArray(
+            self.xmin * sx, self.ymin * sy, self.xmax * sx, self.ymax * sy, validate=False
+        )

@@ -1,0 +1,19 @@
+"""Hilbert space-filling curve keys (substrate for SS sampling and R-tree packing)."""
+
+from .curve import (
+    DEFAULT_ORDER,
+    hilbert_index,
+    hilbert_index_vectorized,
+    hilbert_keys_for_points,
+    hilbert_point,
+    hilbert_sort_order,
+)
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "hilbert_index",
+    "hilbert_index_vectorized",
+    "hilbert_keys_for_points",
+    "hilbert_point",
+    "hilbert_sort_order",
+]

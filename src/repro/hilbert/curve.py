@@ -1,0 +1,155 @@
+"""Hilbert space-filling curve keys.
+
+The paper's Sorted Sampling (SS) technique sorts a dataset by the Hilbert
+values of its items before regular sampling, following Kamel & Faloutsos'
+"On Packing R-trees" (CIKM '93); the same keys drive our Hilbert-packed
+R-tree bulk loader.  Both the scalar reference implementation and a
+vectorized numpy kernel are provided; they agree bit-for-bit (tested).
+
+The curve of *order* ``p`` visits every cell of a ``2^p x 2^p`` integer
+grid exactly once; :func:`hilbert_index` maps grid coordinates to the
+position along the curve (the "Hilbert value") and
+:func:`hilbert_point` is its inverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_point",
+    "hilbert_index_vectorized",
+    "hilbert_keys_for_points",
+    "hilbert_sort_order",
+    "DEFAULT_ORDER",
+]
+
+#: Default curve order: 16 bits per axis gives 2^32 distinct keys, plenty
+#: of resolution for datasets up to millions of items.
+DEFAULT_ORDER = 16
+
+
+def hilbert_index(order: int, x: int, y: int) -> int:
+    """Hilbert value of integer grid cell ``(x, y)`` on a curve of ``order``.
+
+    Scalar reference implementation (the classic bit-twiddling loop);
+    coordinates must satisfy ``0 <= x, y < 2**order``.
+    """
+    _check_order(order)
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"coordinates ({x}, {y}) out of range for order {order}")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant so the sub-curve is in canonical orientation.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_point(order: int, d: int) -> tuple[int, int]:
+    """Inverse of :func:`hilbert_index`: curve position -> grid cell."""
+    _check_order(order)
+    side = 1 << order
+    if not (0 <= d < side * side):
+        raise ValueError(f"index {d} out of range for order {order}")
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def hilbert_index_vectorized(order: int, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hilbert_index` over integer coordinate arrays.
+
+    Returns uint64 keys.  ``order`` must be at most 31 so the squared
+    side length fits comfortably in uint64 arithmetic.
+    """
+    _check_order(order)
+    x = np.asarray(x, dtype=np.uint64).copy()
+    y = np.asarray(y, dtype=np.uint64).copy()
+    side = np.uint64(1 << order)
+    if x.size and (int(x.max()) >= int(side) or int(y.max()) >= int(side)):
+        raise ValueError(f"coordinates out of range for order {order}")
+    d = np.zeros(x.shape, dtype=np.uint64)
+    s = int(side) >> 1
+    while s > 0:
+        su = np.uint64(s)
+        rx = ((x & su) > 0).astype(np.uint64)
+        ry = ((y & su) > 0).astype(np.uint64)
+        d += np.uint64(s * s) * ((np.uint64(3) * rx) ^ ry)
+        # Rotation, applied branch-free via masks.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        sm1 = np.uint64(s - 1)
+        x_f = np.where(flip, sm1 - x, x)
+        y_f = np.where(flip, sm1 - y, y)
+        x, y = np.where(swap, y_f, x_f), np.where(swap, x_f, y_f)
+        s >>= 1
+    return d
+
+
+def hilbert_keys_for_points(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    extent_min: tuple[float, float],
+    extent_size: tuple[float, float],
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Hilbert keys for float points inside a given extent.
+
+    Points are snapped to the ``2^order`` grid; points on the extent's
+    far edge land in the last cell.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    side = 1 << order
+    wx, wy = extent_size
+    if wx <= 0 or wy <= 0:
+        raise ValueError("extent size must be positive")
+    gx = np.clip(((x - extent_min[0]) / wx * side).astype(np.int64), 0, side - 1)
+    gy = np.clip(((y - extent_min[1]) / wy * side).astype(np.int64), 0, side - 1)
+    return hilbert_index_vectorized(order, gx, gy)
+
+
+def hilbert_sort_order(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    extent_min: tuple[float, float],
+    extent_size: tuple[float, float],
+    order: int = DEFAULT_ORDER,
+) -> np.ndarray:
+    """Permutation sorting points by Hilbert key (stable)."""
+    keys = hilbert_keys_for_points(
+        x, y, extent_min=extent_min, extent_size=extent_size, order=order
+    )
+    return np.argsort(keys, kind="stable")
+
+
+def _check_order(order: int) -> None:
+    if not isinstance(order, (int, np.integer)) or order < 1 or order > 31:
+        raise ValueError(f"order must be an integer in [1, 31], got {order!r}")

@@ -1,0 +1,139 @@
+"""Basic Geometric Histogram — paper Section 3.2.1 (Equation 4).
+
+The didactic precursor of the revised GH scheme: per cell it keeps raw
+*counts* instead of normalized ratios —
+
+* ``C`` — corner points of MBRs lying inside the cell,
+* ``I`` — MBRs intersecting the cell,
+* ``H`` — horizontal MBR edges passing through the cell,
+* ``V`` — vertical MBR edges passing through the cell —
+
+and estimates the intersection points as (Equation 4):
+
+    N_ab = sum_ij  Ca*Ib + Ia*Cb + Va*Hb + Ha*Vb
+
+This implicitly assumes that, within a cell, every corner of one dataset
+falls inside every MBR of the other and every horizontal edge crosses
+every vertical edge — accurate only at very fine gridding (Figure 4
+illustrates the false/multiple counting at coarse grids).  The revised
+:class:`~repro.histograms.gh.GHHistogram` replaces the raw counts with
+uniformity-weighted ratios; this class exists for the paper's worked
+example (Figure 3) and the basic-vs-revised ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from .grid import Grid
+
+__all__ = ["BasicGHHistogram", "gh_basic_selectivity"]
+
+
+@dataclass(frozen=True)
+class BasicGHHistogram:
+    """Per-cell raw counts for the basic GH estimator."""
+
+    grid: Grid
+    count: int
+    c: np.ndarray  #: corner points per cell
+    i: np.ndarray  #: MBRs intersecting each cell
+    h: np.ndarray  #: horizontal edges passing through each cell
+    v: np.ndarray  #: vertical edges passing through each cell
+
+    @classmethod
+    def build(
+        cls, dataset: SpatialDataset, level: int, *, extent: Rect | None = None
+    ) -> "BasicGHHistogram":
+        grid = Grid(extent or dataset.extent, level)
+        rects = dataset.rects
+        cells = grid.cell_count
+        c = np.zeros(cells)
+        i_cnt = np.zeros(cells)
+        h = np.zeros(cells)
+        v = np.zeros(cells)
+        if len(rects):
+            # Corners (all four per MBR).
+            for x, y in (
+                (rects.xmin, rects.ymin),
+                (rects.xmax, rects.ymin),
+                (rects.xmax, rects.ymax),
+                (rects.xmin, rects.ymax),
+            ):
+                flat = grid.row_of(y) * grid.side + grid.column_of(x)
+                np.add.at(c, flat, 1.0)
+            # MBR / cell incidences.
+            ov = grid.overlaps(rects)
+            np.add.at(i_cnt, ov.flat, 1.0)
+            # Edge / cell incidences (each of the four edges separately).
+            i0 = grid.column_of(rects.xmin)
+            i1 = grid.column_of(rects.xmax)
+            j0 = grid.row_of(rects.ymin)
+            j1 = grid.row_of(rects.ymax)
+            for row in (j0, j1):
+                _count_runs(lo=i0, hi=i1, fixed=row, stride_fixed=grid.side, stride_run=1, out=h)
+            for col in (i0, i1):
+                _count_runs(lo=j0, hi=j1, fixed=col, stride_fixed=1, stride_run=grid.side, out=v)
+        return cls(grid=grid, count=len(rects), c=c, i=i_cnt, h=h, v=v)
+
+    # ------------------------------------------------------------------
+    def estimate_intersection_points(self, other: "BasicGHHistogram") -> float:
+        """Equation 4."""
+        if self.grid != other.grid:
+            raise ValueError("histograms must share the same grid (extent and level)")
+        return float(
+            (self.c * other.i + self.i * other.c + self.v * other.h + self.h * other.v).sum()
+        )
+
+    def estimate_pairs(self, other: "BasicGHHistogram") -> float:
+        """Estimated intersecting pairs (Equation 4 divided by four)."""
+        return self.estimate_intersection_points(other) / 4.0
+
+    def estimate_selectivity(self, other: "BasicGHHistogram") -> float:
+        """Estimated selectivity against ``other`` (0 for empty inputs)."""
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        return self.estimate_pairs(other) / (self.count * other.count)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * 4 * self.grid.cell_count
+
+
+def _count_runs(
+    *,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    fixed: np.ndarray,
+    stride_fixed: int,
+    stride_run: int,
+    out: np.ndarray,
+) -> None:
+    """Add 1 to every cell in each run ``lo..hi`` at a fixed cross index."""
+    n = len(lo)
+    if n == 0:
+        return
+    spans = hi - lo + 1
+    total = int(spans.sum())
+    seg = np.repeat(np.arange(n, dtype=np.int64), spans)
+    offsets = np.concatenate([[0], np.cumsum(spans)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(offsets, spans)
+    run_idx = lo[seg] + local
+    np.add.at(out, fixed[seg] * stride_fixed + run_idx * stride_run, 1.0)
+
+
+def gh_basic_selectivity(
+    ds1: SpatialDataset, ds2: SpatialDataset, level: int, *, extent: Rect | None = None
+) -> float:
+    """One-shot basic-GH estimate."""
+    if extent is None:
+        if ds1.extent != ds2.extent:
+            raise ValueError("datasets must share a common extent (or pass one explicitly)")
+        extent = ds1.extent
+    h1 = BasicGHHistogram.build(ds1, level, extent=extent)
+    h2 = BasicGHHistogram.build(ds2, level, extent=extent)
+    return h1.estimate_selectivity(h2)

@@ -1,0 +1,106 @@
+"""Incremental maintenance of histogram files.
+
+A production SDBMS cannot rebuild statistics from scratch on every
+insert/delete.  The GH statistics (and basic GH's raw counts) are
+*additive*: every cell value is a sum of independent per-rectangle
+contributions, so the histogram of a modified dataset is
+
+    H(D + added - removed) = H(D) + H(added) - H(removed)
+
+computed over the same grid.  ``apply_updates`` implements exactly that
+(plus a numerical floor at zero for float round-off).
+
+PH is deliberately *not* supported: its per-cell ``Xavg``/``Yavg`` are
+averages rather than sums, and the dataset-wide ``AvgSpan`` is a mean
+over an unknown membership — neither can be updated without the raw
+data.  This asymmetry is a practical advantage of GH beyond the paper's
+accuracy results, and the ablation suite exercises it.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar, Union
+
+import numpy as np
+
+from ..geometry import RectArray
+from .gh import GHHistogram
+from .gh_basic import BasicGHHistogram
+
+__all__ = ["apply_updates", "merge_histograms"]
+
+AdditiveHistogram = Union[GHHistogram, BasicGHHistogram]
+H = TypeVar("H", GHHistogram, BasicGHHistogram)
+
+_FIELDS = {
+    GHHistogram: ("c", "o", "h", "v"),
+    BasicGHHistogram: ("c", "i", "h", "v"),
+}
+
+
+def _check_supported(hist) -> tuple:
+    fields = _FIELDS.get(type(hist))
+    if fields is None:
+        raise TypeError(
+            f"{type(hist).__name__} does not support incremental maintenance "
+            "(PH statistics are averages, not sums — rebuild instead)"
+        )
+    return fields
+
+
+def apply_updates(
+    hist: H,
+    *,
+    added: RectArray | None = None,
+    removed: RectArray | None = None,
+) -> H:
+    """A new histogram reflecting inserted and/or deleted rectangles.
+
+    ``removed`` must contain the exact rectangles that were deleted
+    (the caller — e.g. a table heap — knows them); removing rectangles
+    never indexed produces a histogram that no longer matches any
+    dataset, which this function guards against only via the
+    non-negativity floor.
+    """
+    fields = _check_supported(hist)
+    hist_cls = type(hist)
+    from ..datasets import SpatialDataset
+
+    new_values = {name: getattr(hist, name).copy() for name in fields}
+    count = hist.count
+
+    for rects, sign in ((added, +1.0), (removed, -1.0)):
+        if rects is None or len(rects) == 0:
+            continue
+        delta_ds = SpatialDataset("delta", rects, hist.grid.extent)
+        delta = hist_cls.build(delta_ds, hist.grid.level, extent=hist.grid.extent)
+        for name in fields:
+            new_values[name] += sign * getattr(delta, name)
+        count += sign * len(rects)
+
+    if count < 0:
+        raise ValueError("more rectangles removed than the histogram contains")
+    for name in fields:
+        # Float round-off can leave tiny negatives after removals.
+        np.maximum(new_values[name], 0.0, out=new_values[name])
+    return hist_cls(grid=hist.grid, count=int(count), **new_values)
+
+
+def merge_histograms(first: H, second: H) -> H:
+    """The histogram of the union (concatenation) of two datasets.
+
+    Both inputs must be the same scheme on the same grid.  Useful for
+    parallel builds (shard the data, build per shard, merge) and for
+    maintaining statistics of partitioned tables.
+    """
+    fields = _check_supported(first)
+    if type(first) is not type(second):
+        raise TypeError("cannot merge histograms of different schemes")
+    if first.grid != second.grid:
+        raise ValueError("cannot merge histograms on different grids")
+    merged = {
+        name: getattr(first, name) + getattr(second, name) for name in fields
+    }
+    return type(first)(
+        grid=first.grid, count=first.count + second.count, **merged
+    )

@@ -1,0 +1,69 @@
+"""Unified entry points for exact spatial joins.
+
+``join_count`` / ``join_pairs`` dispatch across the four exact engines
+(nested loop, plane sweep, PBSM, R-tree join); ``actual_selectivity``
+computes the ground-truth selectivity every estimator in the library is
+scored against:
+
+    selectivity(A, B) = |{(a, b) : a intersects b}| / (|A| * |B|)
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..geometry import RectArray
+from ..rtree import bulk_load_str, rtree_join_count, rtree_join_pairs
+from .naive import nested_loop_count, nested_loop_pairs
+from .partition import partition_join_count, partition_join_pairs
+from .planesweep import plane_sweep_count, plane_sweep_pairs
+
+__all__ = ["JoinMethod", "join_count", "join_pairs", "actual_selectivity"]
+
+JoinMethod = Literal["auto", "nested", "sweep", "partition", "rtree"]
+
+#: Below this total input size the nested loop wins on setup cost.
+_SMALL_INPUT = 512
+
+
+def join_count(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> int:
+    """Exact number of intersecting pairs between ``a`` and ``b``."""
+    method = _resolve(a, b, method)
+    if method == "nested":
+        return nested_loop_count(a, b)
+    if method == "sweep":
+        return plane_sweep_count(a, b)
+    if method == "partition":
+        return partition_join_count(a, b)
+    return rtree_join_count(bulk_load_str(a), bulk_load_str(b))
+
+
+def join_pairs(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> np.ndarray:
+    """All intersecting pairs, lexicographically sorted ``(k, 2)`` id array."""
+    method = _resolve(a, b, method)
+    if method == "nested":
+        return nested_loop_pairs(a, b)
+    if method == "sweep":
+        return plane_sweep_pairs(a, b)
+    if method == "partition":
+        return partition_join_pairs(a, b)
+    return rtree_join_pairs(bulk_load_str(a), bulk_load_str(b))
+
+
+def actual_selectivity(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> float:
+    """Ground-truth join selectivity (0 for empty inputs)."""
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    return join_count(a, b, method=method) / (len(a) * len(b))
+
+
+def _resolve(a: RectArray, b: RectArray, method: JoinMethod) -> JoinMethod:
+    if method not in ("auto", "nested", "sweep", "partition", "rtree"):
+        raise ValueError(f"unknown join method {method!r}")
+    if method != "auto":
+        return method
+    if len(a) + len(b) <= _SMALL_INPUT:
+        return "nested"
+    return "partition"

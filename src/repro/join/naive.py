@@ -1,0 +1,65 @@
+"""Blocked nested-loop spatial join.
+
+The simplest exact algorithm: compare every pair.  Used as the oracle in
+tests (every other join algorithm must agree with it) and as a fallback
+for tiny inputs where setup costs of smarter algorithms dominate.
+
+The implementation is blocked so the dense intersection mask never
+exceeds ``block**2`` booleans regardless of input size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import RectArray
+
+__all__ = ["nested_loop_count", "nested_loop_pairs"]
+
+_DEFAULT_BLOCK = 2048
+
+
+def nested_loop_count(a: RectArray, b: RectArray, *, block: int = _DEFAULT_BLOCK) -> int:
+    """Exact number of intersecting (closed) pairs between ``a`` and ``b``."""
+    if len(a) == 0 or len(b) == 0:
+        return 0
+    total = 0
+    for s in range(0, len(a), block):
+        axm = a.xmin[s : s + block][:, None]
+        axM = a.xmax[s : s + block][:, None]
+        aym = a.ymin[s : s + block][:, None]
+        ayM = a.ymax[s : s + block][:, None]
+        for t in range(0, len(b), block):
+            mask = (
+                (axm <= b.xmax[t : t + block][None, :])
+                & (b.xmin[t : t + block][None, :] <= axM)
+                & (aym <= b.ymax[t : t + block][None, :])
+                & (b.ymin[t : t + block][None, :] <= ayM)
+            )
+            total += int(np.count_nonzero(mask))
+    return total
+
+
+def nested_loop_pairs(a: RectArray, b: RectArray, *, block: int = _DEFAULT_BLOCK) -> np.ndarray:
+    """All intersecting pairs as a lexicographically sorted ``(k, 2)`` id array."""
+    chunks: list[np.ndarray] = []
+    for s in range(0, len(a), block):
+        axm = a.xmin[s : s + block][:, None]
+        axM = a.xmax[s : s + block][:, None]
+        aym = a.ymin[s : s + block][:, None]
+        ayM = a.ymax[s : s + block][:, None]
+        for t in range(0, len(b), block):
+            mask = (
+                (axm <= b.xmax[t : t + block][None, :])
+                & (b.xmin[t : t + block][None, :] <= axM)
+                & (aym <= b.ymax[t : t + block][None, :])
+                & (b.ymin[t : t + block][None, :] <= ayM)
+            )
+            ia, ib = np.nonzero(mask)
+            if len(ia):
+                chunks.append(np.stack([ia + s, ib + t], axis=1))
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks, axis=0).astype(np.int64)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]

@@ -1,0 +1,139 @@
+"""Sort-based plane-sweep spatial join (Preparata & Shamos style).
+
+Both inputs are sorted by ``xmin`` and swept left to right.  When an item
+becomes active it probes the other dataset's active list (everything that
+started earlier and has not yet ended), so each intersecting pair is
+found exactly once — by whichever member starts later.  Probing doubles
+as lazy eviction: active entries whose ``xmax`` has fallen behind the
+sweep line are compacted away during the probe.
+
+The active lists are numpy-backed with amortized-doubling growth, so the
+per-event work is one vectorized overlap test over the current active
+set.  Complexity is ``O(n log n + n * avg_active)`` with a small numpy
+constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import RectArray
+
+__all__ = ["plane_sweep_count", "plane_sweep_pairs"]
+
+
+class _ActiveList:
+    """Growable struct-of-arrays active set for the sweep."""
+
+    __slots__ = ("ymin", "ymax", "xmax", "ids", "size")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.ymin = np.empty(capacity, dtype=np.float64)
+        self.ymax = np.empty(capacity, dtype=np.float64)
+        self.xmax = np.empty(capacity, dtype=np.float64)
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.size = 0
+
+    def insert(self, ymin: float, ymax: float, xmax: float, item_id: int) -> None:
+        if self.size == len(self.ids):
+            self._grow()
+        i = self.size
+        self.ymin[i] = ymin
+        self.ymax[i] = ymax
+        self.xmax[i] = xmax
+        self.ids[i] = item_id
+        self.size += 1
+
+    def _grow(self) -> None:
+        new_cap = max(64, len(self.ids) * 2)
+        for name in ("ymin", "ymax", "xmax", "ids"):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def probe_and_evict(
+        self, sweep_x: float, ymin: float, ymax: float
+    ) -> np.ndarray:
+        """Ids of live entries y-overlapping ``[ymin, ymax]``; evicts dead ones.
+
+        An entry is *dead* once its ``xmax`` is strictly left of the sweep
+        line (closed intersection: touching entries stay live).
+        """
+        n = self.size
+        if n == 0:
+            return _EMPTY_IDS
+        live = self.xmax[:n] >= sweep_x
+        live_count = int(np.count_nonzero(live))
+        if live_count != n:
+            # Compact in place.
+            for name in ("ymin", "ymax", "xmax", "ids"):
+                arr = getattr(self, name)
+                arr[:live_count] = arr[:n][live]
+            self.size = live_count
+            n = live_count
+            if n == 0:
+                return _EMPTY_IDS
+        hit = (self.ymin[:n] <= ymax) & (ymin <= self.ymax[:n])
+        return self.ids[:n][hit]
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _sweep(a: RectArray, b: RectArray, *, collect_pairs: bool):
+    order_a = np.argsort(a.xmin, kind="stable")
+    order_b = np.argsort(b.xmin, kind="stable")
+    na, nb = len(a), len(b)
+    active_a = _ActiveList()
+    active_b = _ActiveList()
+    count = 0
+    pair_chunks: list[np.ndarray] = []
+    ia = ib = 0
+    while ia < na or ib < nb:
+        take_a = ia < na and (ib >= nb or a.xmin[order_a[ia]] <= b.xmin[order_b[ib]])
+        if take_a:
+            idx = int(order_a[ia])
+            ia += 1
+            x0 = float(a.xmin[idx])
+            y0, y1 = float(a.ymin[idx]), float(a.ymax[idx])
+            hits = active_b.probe_and_evict(x0, y0, y1)
+            if len(hits):
+                count += len(hits)
+                if collect_pairs:
+                    chunk = np.empty((len(hits), 2), dtype=np.int64)
+                    chunk[:, 0] = idx
+                    chunk[:, 1] = hits
+                    pair_chunks.append(chunk)
+            active_a.insert(y0, y1, float(a.xmax[idx]), idx)
+        else:
+            idx = int(order_b[ib])
+            ib += 1
+            x0 = float(b.xmin[idx])
+            y0, y1 = float(b.ymin[idx]), float(b.ymax[idx])
+            hits = active_a.probe_and_evict(x0, y0, y1)
+            if len(hits):
+                count += len(hits)
+                if collect_pairs:
+                    chunk = np.empty((len(hits), 2), dtype=np.int64)
+                    chunk[:, 0] = hits
+                    chunk[:, 1] = idx
+                    pair_chunks.append(chunk)
+            active_b.insert(y0, y1, float(b.xmax[idx]), idx)
+    return count, pair_chunks
+
+
+def plane_sweep_count(a: RectArray, b: RectArray) -> int:
+    """Exact intersecting-pair count via plane sweep."""
+    count, _ = _sweep(a, b, collect_pairs=False)
+    return count
+
+
+def plane_sweep_pairs(a: RectArray, b: RectArray) -> np.ndarray:
+    """All intersecting pairs as a lexicographically sorted ``(k, 2)`` id array."""
+    _, chunks = _sweep(a, b, collect_pairs=True)
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks, axis=0)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]

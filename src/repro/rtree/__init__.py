@@ -1,0 +1,31 @@
+"""R-tree substrate: dynamic Guttman tree, packed loaders, queries, join.
+
+The paper indexes datasets (and samples) with R-trees and computes the
+actual join — the estimators' ground truth — via synchronized traversal.
+"""
+
+from .bulk import bulk_load_hilbert, bulk_load_str, pack_sorted
+from .join import iter_join_pairs, rtree_join_count, rtree_join_pairs
+from .node import Node
+from .query import count_intersecting, search_contained, search_intersecting
+from .rtree import DEFAULT_MAX_ENTRIES, RTree
+from .stats import BYTES_PER_ENTRY, TreeStats, collect_stats, tree_size_bytes
+
+__all__ = [
+    "RTree",
+    "Node",
+    "DEFAULT_MAX_ENTRIES",
+    "bulk_load_str",
+    "bulk_load_hilbert",
+    "pack_sorted",
+    "search_intersecting",
+    "search_contained",
+    "count_intersecting",
+    "rtree_join_count",
+    "rtree_join_pairs",
+    "iter_join_pairs",
+    "TreeStats",
+    "collect_stats",
+    "tree_size_bytes",
+    "BYTES_PER_ENTRY",
+]

@@ -1,0 +1,86 @@
+"""R-tree window (intersection) queries.
+
+Operates on the shared :class:`~repro.rtree.node.Node` structure, so the
+same code serves dynamic (Guttman) and packed (STR/Hilbert) trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect
+from .node import Node
+
+__all__ = ["search_intersecting", "count_intersecting", "search_contained"]
+
+
+def _leaf_mask(node: Node, rect: Rect) -> np.ndarray:
+    c = node.entry_coords
+    return (
+        (c[:, 0] <= rect.xmax)
+        & (rect.xmin <= c[:, 2])
+        & (c[:, 1] <= rect.ymax)
+        & (rect.ymin <= c[:, 3])
+    )
+
+
+def search_intersecting(root: Node, rect: Rect) -> np.ndarray:
+    """Sorted payload ids of all entries intersecting ``rect`` (closed)."""
+    hits: list[np.ndarray] = []
+    target = rect.as_tuple()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node.mbr_intersects(target):
+            continue
+        if node.is_leaf:
+            mask = _leaf_mask(node, rect)
+            if mask.any():
+                hits.append(node.entry_ids[mask])
+        else:
+            stack.extend(node.children)
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(hits))
+
+
+def count_intersecting(root: Node, rect: Rect) -> int:
+    """Number of entries intersecting ``rect`` (no id materialization)."""
+    total = 0
+    target = rect.as_tuple()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node.mbr_intersects(target):
+            continue
+        if node.is_leaf:
+            total += int(_leaf_mask(node, rect).sum())
+        else:
+            stack.extend(node.children)
+    return total
+
+
+def search_contained(root: Node, rect: Rect) -> np.ndarray:
+    """Sorted payload ids of entries fully contained in ``rect``."""
+    hits: list[np.ndarray] = []
+    target = rect.as_tuple()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node.mbr_intersects(target):
+            continue
+        if node.is_leaf:
+            c = node.entry_coords
+            mask = (
+                (c[:, 0] >= rect.xmin)
+                & (c[:, 1] >= rect.ymin)
+                & (c[:, 2] <= rect.xmax)
+                & (c[:, 3] <= rect.ymax)
+            )
+            if mask.any():
+                hits.append(node.entry_ids[mask])
+        else:
+            stack.extend(node.children)
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(hits))

@@ -1,0 +1,66 @@
+"""R-tree size and shape statistics.
+
+The paper's *space cost* metric expresses histogram size as a percentage
+of "the space required to maintain the R-trees for the actual datasets";
+:func:`tree_size_bytes` provides that denominator with a conventional
+disk-page-style accounting (each entry stores an MBR of four floats plus
+a child pointer / record id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import Node
+from .rtree import RTree
+
+__all__ = ["TreeStats", "collect_stats", "tree_size_bytes", "BYTES_PER_ENTRY"]
+
+#: 4 coordinates x 8 bytes + 8-byte pointer/id, the usual textbook figure.
+BYTES_PER_ENTRY = 4 * 8 + 8
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStats:
+    """Aggregate shape statistics for one R-tree."""
+
+    height: int
+    node_count: int
+    leaf_count: int
+    entry_count: int
+    internal_entry_count: int
+    size_bytes: int
+
+    @property
+    def average_leaf_fill(self) -> float:
+        return self.entry_count / self.leaf_count if self.leaf_count else 0.0
+
+
+def collect_stats(tree: RTree) -> TreeStats:
+    """Walk the tree once and gather :class:`TreeStats`."""
+    node_count = 0
+    leaf_count = 0
+    entry_count = 0
+    internal_entry_count = 0
+    node: Node
+    for node in tree.root.walk():
+        node_count += 1
+        if node.is_leaf:
+            leaf_count += 1
+            entry_count += node.fanout
+        else:
+            internal_entry_count += node.fanout
+    size = (entry_count + internal_entry_count) * BYTES_PER_ENTRY
+    return TreeStats(
+        height=tree.height,
+        node_count=node_count,
+        leaf_count=leaf_count,
+        entry_count=entry_count,
+        internal_entry_count=internal_entry_count,
+        size_bytes=size,
+    )
+
+
+def tree_size_bytes(tree: RTree) -> int:
+    """Byte size of the tree under the standard entry accounting."""
+    return collect_stats(tree).size_bytes

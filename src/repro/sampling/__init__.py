@@ -1,0 +1,29 @@
+"""Sampling-based selectivity estimation (paper Section 2): RS, RSWR, SS."""
+
+from .estimator import (
+    ConfidenceEstimate,
+    SampleJoinTiming,
+    SamplingEstimate,
+    SamplingJoinEstimator,
+)
+from .pickers import (
+    SAMPLING_METHODS,
+    pick_sample_indices,
+    random_wr_sample_indices,
+    regular_sample_indices,
+    sample_size_for_fraction,
+    sorted_sample_indices,
+)
+
+__all__ = [
+    "SAMPLING_METHODS",
+    "sample_size_for_fraction",
+    "regular_sample_indices",
+    "random_wr_sample_indices",
+    "sorted_sample_indices",
+    "pick_sample_indices",
+    "SamplingJoinEstimator",
+    "SamplingEstimate",
+    "SampleJoinTiming",
+    "ConfidenceEstimate",
+]

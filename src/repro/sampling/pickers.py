@@ -1,0 +1,103 @@
+"""Sample-index pickers for the paper's three sampling techniques
+(Section 2):
+
+* **RS** — Regular Sampling: every ``k``-th item, ``k = ceil(N / n)``.
+* **RSWR** — Random Sampling With Replacement: each draw uniform over the
+  dataset, duplicates allowed.
+* **SS** — Sorted Sampling: RS applied after sorting the dataset by the
+  Hilbert values of the items (Kamel–Faloutsos ordering of MBR centers).
+
+Each picker returns *index arrays* into the dataset, so the same
+machinery serves any downstream use (estimators, tests, examples).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..datasets import SpatialDataset
+from ..hilbert import DEFAULT_ORDER, hilbert_sort_order
+
+__all__ = [
+    "SAMPLING_METHODS",
+    "sample_size_for_fraction",
+    "regular_sample_indices",
+    "random_wr_sample_indices",
+    "sorted_sample_indices",
+    "pick_sample_indices",
+]
+
+SAMPLING_METHODS = ("rs", "rswr", "ss")
+
+
+def sample_size_for_fraction(n: int, fraction: float) -> int:
+    """Target sample size for a fraction of a dataset of size ``n``.
+
+    Fractions are in ``(0, 1]``; at least one item is sampled from a
+    non-empty dataset.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"sampling fraction must be in (0, 1], got {fraction}")
+    if n == 0:
+        return 0
+    return max(1, round(n * fraction))
+
+
+def regular_sample_indices(n: int, fraction: float) -> np.ndarray:
+    """RS: every ``k``-th index with ``k = ceil(N / n_sample)``."""
+    size = sample_size_for_fraction(n, fraction)
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if size >= n:
+        return np.arange(n, dtype=np.int64)
+    k = math.ceil(n / size)
+    return np.arange(0, n, k, dtype=np.int64)
+
+
+def random_wr_sample_indices(
+    n: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """RSWR: uniform draws with replacement."""
+    size = sample_size_for_fraction(n, fraction)
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.integers(0, n, size=size, dtype=np.int64)
+
+
+def sorted_sample_indices(
+    dataset: SpatialDataset, fraction: float, *, order_bits: int = DEFAULT_ORDER
+) -> np.ndarray:
+    """SS: Hilbert-sort the dataset, then take every ``k``-th item.
+
+    The sort is the dominant cost of this technique — the reason the
+    paper finds SS unattractive relative to RS/RSWR.
+    """
+    n = len(dataset)
+    cx, cy = dataset.rects.centers()
+    order = hilbert_sort_order(
+        cx,
+        cy,
+        extent_min=(dataset.extent.xmin, dataset.extent.ymin),
+        extent_size=(dataset.extent.width, dataset.extent.height),
+        order=order_bits,
+    )
+    positions = regular_sample_indices(n, fraction)
+    return order[positions]
+
+
+def pick_sample_indices(
+    dataset: SpatialDataset,
+    fraction: float,
+    method: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Dispatch over the three techniques by name (``rs``/``rswr``/``ss``)."""
+    if method == "rs":
+        return regular_sample_indices(len(dataset), fraction)
+    if method == "rswr":
+        return random_wr_sample_indices(len(dataset), fraction, rng)
+    if method == "ss":
+        return sorted_sample_indices(dataset, fraction)
+    raise ValueError(f"unknown sampling method {method!r}; choose from {SAMPLING_METHODS}")

@@ -1,0 +1,91 @@
+"""Unit tests for the gridding-level advisors."""
+
+import pytest
+
+from repro.core import calibrate_level, level_for_budget
+from repro.datasets import make_clustered, make_uniform
+from repro.histograms import GHHistogram, PHHistogram, MAX_LEVEL
+from repro.join import actual_selectivity
+
+
+class TestLevelForBudget:
+    def test_budget_respected_gh(self):
+        for budget in (1 << 10, 1 << 16, 1 << 22):
+            level = level_for_budget(budget, scheme="gh")
+            assert 8 * 4 * 4**level <= budget
+            if level < MAX_LEVEL:
+                assert 8 * 4 * 4 ** (level + 1) > budget
+
+    def test_ph_needs_double(self):
+        budget = 8 * 8 * 4**5  # exactly a level-5 PH file
+        assert level_for_budget(budget, scheme="ph") == 5
+        assert level_for_budget(budget, scheme="gh") >= 5
+
+    def test_size_formula_matches_histograms(self, rng):
+        from tests.conftest import random_rects
+        from repro.datasets import SpatialDataset
+
+        ds = SpatialDataset("d", random_rects(rng, 10))
+        level = level_for_budget(100_000, scheme="gh")
+        hist = GHHistogram.build(ds, level)
+        assert hist.size_bytes <= 100_000
+
+    def test_capped_at_max_level(self):
+        assert level_for_budget(1 << 62, scheme="gh") == MAX_LEVEL
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            level_for_budget(8, scheme="gh")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            level_for_budget(1 << 20, scheme="wavelet")
+
+
+class TestCalibrateLevel:
+    @pytest.fixture(scope="class")
+    def skewed_pair(self):
+        a = make_clustered(4000, seed=100, spread=0.06)
+        b = make_clustered(4000, seed=101, spread=0.06)
+        return a, b
+
+    def test_stabilized_estimate_is_accurate(self, skewed_pair):
+        a, b = skewed_pair
+        result = calibrate_level(a, b, tolerance=0.02)
+        truth = actual_selectivity(a.rects, b.rects)
+        assert result.selectivity == pytest.approx(truth, rel=0.15)
+        assert result.last_relative_change <= 0.02 or result.level == 9
+
+    def test_uniform_data_stabilizes_early(self):
+        a = make_uniform(3000, seed=102, mean_width=0.01, mean_height=0.01)
+        b = make_uniform(3000, seed=103, mean_width=0.01, mean_height=0.01)
+        result = calibrate_level(a, b, tolerance=0.02, min_level=2)
+        assert result.level <= 4  # uniformity => convergence at once
+
+    def test_trace_recorded(self, skewed_pair):
+        a, b = skewed_pair
+        result = calibrate_level(a, b, min_level=2, max_level=6, tolerance=1e-9)
+        # With an impossible tolerance the walk reaches max_level.
+        assert result.level == 6
+        assert len(result.trace) == 5
+
+    def test_tighter_tolerance_never_lowers_level(self, skewed_pair):
+        a, b = skewed_pair
+        loose = calibrate_level(a, b, tolerance=0.5)
+        tight = calibrate_level(a, b, tolerance=0.01)
+        assert tight.level >= loose.level
+
+    def test_validation(self, skewed_pair):
+        a, b = skewed_pair
+        with pytest.raises(ValueError):
+            calibrate_level(a, b, tolerance=0.0)
+        with pytest.raises(ValueError):
+            calibrate_level(a, b, min_level=5, max_level=3)
+
+    def test_extent_mismatch(self):
+        from repro.geometry import Rect
+
+        a = make_uniform(100, seed=1)
+        b = make_uniform(100, seed=2, extent=Rect(0, 0, 2, 2))
+        with pytest.raises(ValueError, match="common extent"):
+            calibrate_level(a, b)

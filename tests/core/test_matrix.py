@@ -1,0 +1,63 @@
+"""Unit tests for all-pairs selectivity estimation."""
+
+import pytest
+
+from repro.core import GHEstimator, ParametricEstimator, pairwise_selectivities
+from repro.core.optimizer import optimize_join_order
+from repro.datasets import make_clustered, make_uniform
+from repro.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def three_datasets():
+    return [
+        make_uniform(600, seed=140, name="A"),
+        make_clustered(600, seed=141, name="B"),
+        make_uniform(400, seed=142, name="C"),
+    ]
+
+
+class TestPairwiseSelectivities:
+    def test_all_pairs_present(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets, GHEstimator(4))
+        assert set(matrix) == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_keys_sorted(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets, GHEstimator(3))
+        assert all(a <= b for a, b in matrix)
+
+    def test_matches_direct_estimates(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets, GHEstimator(4))
+        a, b, _ = three_datasets
+        direct = GHEstimator(4).estimate(a, b)
+        assert matrix[("A", "B")] == pytest.approx(direct)
+
+    def test_default_estimator_is_gh7(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets)
+        explicit = pairwise_selectivities(three_datasets, GHEstimator(7))
+        assert matrix == explicit
+
+    def test_parametric_works(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets, ParametricEstimator())
+        assert all(v >= 0 for v in matrix.values())
+
+    def test_mixed_extents_unified(self):
+        wide = make_uniform(200, seed=143, extent=Rect(0, 0, 2, 2), name="W")
+        unit = make_uniform(200, seed=144, name="U")
+        matrix = pairwise_selectivities([wide, unit], GHEstimator(3))
+        assert ("U", "W") in matrix
+
+    def test_duplicate_names_rejected(self, three_datasets):
+        a = three_datasets[0]
+        with pytest.raises(ValueError, match="unique"):
+            pairwise_selectivities([a, a])
+
+    def test_single_dataset_rejected(self, three_datasets):
+        with pytest.raises(ValueError, match="two datasets"):
+            pairwise_selectivities(three_datasets[:1])
+
+    def test_feeds_the_optimizer(self, three_datasets):
+        matrix = pairwise_selectivities(three_datasets, GHEstimator(4))
+        sizes = {ds.name: len(ds) for ds in three_datasets}
+        plan = optimize_join_order(sizes, matrix)
+        assert set(plan.order) == {"A", "B", "C"}

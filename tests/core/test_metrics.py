@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation metrics."""
+
+import math
+import time
+
+import pytest
+
+from repro.core import MetricAccumulator, Timer, ratio_pct, relative_error_pct
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error_pct(110, 100) == pytest.approx(10.0)
+        assert relative_error_pct(90, 100) == pytest.approx(10.0)
+
+    def test_exact(self):
+        assert relative_error_pct(5, 5) == 0.0
+
+    def test_zero_actual_zero_estimate(self):
+        assert relative_error_pct(0, 0) == 0.0
+
+    def test_zero_actual_nonzero_estimate(self):
+        assert relative_error_pct(1e-9, 0) == math.inf
+
+    def test_negative_actual(self):
+        assert relative_error_pct(-2, -1) == pytest.approx(100.0)
+
+    def test_symmetric_in_magnitude_not_direction(self):
+        assert relative_error_pct(200, 100) == relative_error_pct(0, 100) * 1.0
+
+
+class TestRatioPct:
+    def test_basic(self):
+        assert ratio_pct(1, 4) == 25.0
+
+    def test_zero_whole(self):
+        assert ratio_pct(0, 0) == 0.0
+        assert ratio_pct(1, 0) == math.inf
+
+    def test_over_100(self):
+        assert ratio_pct(5, 1) == 500.0
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.seconds < 1.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.seconds
+        with t:
+            time.sleep(0.01)
+        assert t.seconds > first
+
+
+class TestMetricAccumulator:
+    def test_empty(self):
+        acc = MetricAccumulator()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+
+    def test_stats(self):
+        acc = MetricAccumulator()
+        for v in (1.0, 3.0, 5.0):
+            acc.add(v)
+        assert acc.count == 3
+        assert acc.mean == 3.0
+        assert acc.minimum == 1.0
+        assert acc.maximum == 5.0

@@ -1,0 +1,88 @@
+"""Unit tests for the join-order optimizer."""
+
+import pytest
+
+from repro.core import optimize_join_order, plan_cardinality
+
+
+class TestPlanCardinality:
+    def test_two_way(self):
+        sizes = {"A": 100, "B": 200}
+        sels = {("A", "B"): 0.01}
+        assert plan_cardinality(["A", "B"], sizes, sels) == pytest.approx(200.0)
+
+    def test_missing_edge_is_cartesian(self):
+        sizes = {"A": 10, "B": 10}
+        assert plan_cardinality(["A", "B"], sizes, {}) == 100.0
+
+    def test_three_way_multiplies_edges(self):
+        sizes = {"A": 10, "B": 10, "C": 10}
+        sels = {("A", "B"): 0.1, ("B", "C"): 0.5}
+        assert plan_cardinality(["A", "B", "C"], sizes, sels) == pytest.approx(50.0)
+
+    def test_edge_key_order_insensitive(self):
+        sizes = {"A": 10, "B": 20}
+        forward = plan_cardinality(["A", "B"], sizes, {("A", "B"): 0.3})
+        backward = plan_cardinality(["B", "A"], sizes, {("B", "A"): 0.3})
+        assert forward == backward
+
+
+class TestOptimizeJoinOrder:
+    def test_single_dataset(self):
+        plan = optimize_join_order({"A": 42}, {})
+        assert plan.order == ("A",)
+        assert plan.cardinality == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_join_order({}, {})
+
+    def test_picks_selective_join_first(self):
+        """Classic scenario: start from the most selective pair."""
+        sizes = {"A": 1000, "B": 1000, "C": 1000}
+        sels = {
+            ("A", "B"): 1e-6,  # tiny intermediate
+            ("B", "C"): 1e-1,  # huge intermediate
+            ("A", "C"): 1e-1,
+        }
+        plan = optimize_join_order(sizes, sels)
+        assert set(plan.order[:2]) == {"A", "B"}
+
+    def test_avoids_cartesian_when_connected_exists(self):
+        sizes = {"A": 10, "B": 10, "C": 10}
+        sels = {("A", "B"): 0.5, ("B", "C"): 0.5}
+        plan = optimize_join_order(sizes, sels)
+        # C must not be joined before B is in (no A-C edge).
+        order = plan.order
+        assert order.index("C") > order.index("B") or order.index("A") > order.index("B")
+
+    def test_disconnected_graph_still_plans(self):
+        sizes = {"A": 10, "B": 10, "C": 5, "D": 5}
+        sels = {("A", "B"): 0.1, ("C", "D"): 0.1}
+        plan = optimize_join_order(sizes, sels)
+        assert set(plan.order) == {"A", "B", "C", "D"}
+
+    def test_cost_counts_intermediates(self):
+        sizes = {"A": 100, "B": 100}
+        sels = {("A", "B"): 0.01}
+        plan = optimize_join_order(sizes, sels)
+        assert plan.cost == pytest.approx(100.0)  # the single (final) result
+
+    def test_final_cardinality_independent_of_order(self):
+        sizes = {"A": 50, "B": 60, "C": 70}
+        sels = {("A", "B"): 0.1, ("B", "C"): 0.2, ("A", "C"): 0.05}
+        plan = optimize_join_order(sizes, sels)
+        assert plan.cardinality == pytest.approx(
+            plan_cardinality(("A", "B", "C"), sizes, sels)
+        )
+
+    def test_better_estimates_better_plan(self):
+        """A wildly wrong selectivity changes the chosen order — the
+        reason estimation accuracy matters to an optimizer."""
+        sizes = {"A": 10_000, "B": 10_000, "C": 10_000}
+        true_sels = {("A", "B"): 1e-7, ("B", "C"): 1e-2, ("A", "C"): 1e-2}
+        bad_sels = {("A", "B"): 1e-2, ("B", "C"): 1e-7, ("A", "C"): 1e-2}
+        good_plan = optimize_join_order(sizes, true_sels)
+        bad_plan = optimize_join_order(sizes, bad_sels)
+        assert set(good_plan.order[:2]) == {"A", "B"}
+        assert set(bad_plan.order[:2]) == {"B", "C"}

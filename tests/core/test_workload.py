@@ -1,0 +1,30 @@
+"""Unit tests for workload descriptors."""
+
+from repro.core import FIGURE6_COMBOS, FIGURE6_METHODS, FIGURE7_LEVELS, SampleCombo
+
+
+class TestSampleCombo:
+    def test_fractions(self):
+        combo = SampleCombo(0.1, 100)
+        assert combo.fraction1 == 0.001
+        assert combo.fraction2 == 1.0
+
+    def test_label(self):
+        assert SampleCombo(0.1, 100).label == "0.1/100"
+        assert SampleCombo(10, 10).label == "10/10"
+        assert SampleCombo(1, 1).label == "1/1"
+
+
+class TestFigureConstants:
+    def test_nine_combos_in_paper_order(self):
+        labels = [c.label for c in FIGURE6_COMBOS]
+        assert labels == [
+            "0.1/0.1", "1/1", "10/10",
+            "0.1/100", "100/0.1", "1/100", "100/1", "10/100", "100/10",
+        ]
+
+    def test_methods(self):
+        assert FIGURE6_METHODS == ("rswr", "rs", "ss")
+
+    def test_levels(self):
+        assert FIGURE7_LEVELS == tuple(range(10))

@@ -1,0 +1,88 @@
+"""Unit tests for the SpatialDataset wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.geometry import Rect, RectArray
+from tests.conftest import random_rects
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        rects = random_rects(rng, 50)
+        ds = SpatialDataset("test", rects)
+        assert len(ds) == ds.count == 50
+        assert ds.extent == Rect.unit()
+
+    def test_extent_must_contain_data(self):
+        rects = RectArray.from_rects([Rect(0, 0, 2, 2)])
+        with pytest.raises(ValueError, match="outside its extent"):
+            SpatialDataset("bad", rects, Rect(0, 0, 1, 1))
+
+    def test_extent_must_have_area(self):
+        with pytest.raises(ValueError, match="positive area"):
+            SpatialDataset("bad", RectArray.empty(), Rect(0, 0, 0, 1))
+
+    def test_from_rects_defaults_extent_to_bounds(self, rng):
+        rects = random_rects(rng, 20, extent=Rect(2, 2, 5, 9))
+        ds = SpatialDataset.from_rects("auto", rects)
+        assert ds.extent == rects.bounds()
+
+    def test_from_rects_empty(self):
+        ds = SpatialDataset.from_rects("empty", RectArray.empty())
+        assert len(ds) == 0
+        assert ds.extent == Rect.unit()
+
+    def test_repr(self, rng):
+        ds = SpatialDataset("foo", random_rects(rng, 3))
+        assert "foo" in repr(ds) and "n=3" in repr(ds)
+
+
+class TestSummary:
+    def test_matches_manual_computation(self, rng):
+        rects = random_rects(rng, 100)
+        ds = SpatialDataset("s", rects)
+        summary = ds.summary()
+        assert summary.count == 100
+        assert summary.coverage == pytest.approx(rects.total_area() / 1.0)
+        assert summary.avg_width == pytest.approx(float(rects.widths().mean()))
+        assert summary.avg_height == pytest.approx(float(rects.heights().mean()))
+        assert summary.extent_area == 1.0
+
+    def test_empty_summary(self):
+        summary = SpatialDataset("e", RectArray.empty()).summary()
+        assert summary.count == 0
+        assert summary.coverage == 0.0
+
+    def test_coverage_scales_with_extent(self, rng):
+        rects = random_rects(rng, 100)
+        small = SpatialDataset("a", rects, Rect.unit()).summary()
+        large = SpatialDataset("b", rects, Rect(-1, -1, 3, 3)).summary()
+        assert small.coverage == pytest.approx(16 * large.coverage)
+
+    def test_point_dataset_zero_coverage(self, rng):
+        points = RectArray.from_points(rng.random(30), rng.random(30))
+        summary = SpatialDataset("p", points).summary()
+        assert summary.coverage == 0.0
+        assert summary.avg_width == 0.0
+
+
+class TestTransforms:
+    def test_subset(self, rng):
+        ds = SpatialDataset("base", random_rects(rng, 50))
+        sub = ds.subset(np.array([1, 5, 7]))
+        assert len(sub) == 3
+        assert sub.extent == ds.extent
+        assert sub.name.startswith("base.")
+
+    def test_with_extent(self, rng):
+        ds = SpatialDataset("base", random_rects(rng, 10))
+        wider = ds.with_extent(Rect(-1, -1, 2, 2))
+        assert wider.extent == Rect(-1, -1, 2, 2)
+        assert wider.rects is ds.rects
+
+    def test_with_extent_validates(self, rng):
+        ds = SpatialDataset("base", random_rects(rng, 10))
+        with pytest.raises(ValueError):
+            ds.with_extent(Rect(10, 10, 11, 11))

@@ -1,0 +1,58 @@
+"""Unit tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, load_dataset, save_dataset
+from repro.geometry import Rect, RectArray
+from tests.conftest import random_rects
+
+
+class TestRoundTrip:
+    def test_basic(self, rng, tmp_path):
+        ds = SpatialDataset("roundtrip", random_rects(rng, 123), Rect.unit())
+        path = save_dataset(ds, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.extent == ds.extent
+        assert loaded.rects == ds.rects
+
+    def test_suffix_added(self, rng, tmp_path):
+        ds = SpatialDataset("x", random_rects(rng, 5))
+        path = save_dataset(ds, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_empty_dataset(self, tmp_path):
+        ds = SpatialDataset("empty", RectArray.empty())
+        loaded = load_dataset(save_dataset(ds, tmp_path / "e.npz"))
+        assert len(loaded) == 0
+
+    def test_non_unit_extent(self, rng, tmp_path):
+        extent = Rect(-10, 5, 30, 45)
+        ds = SpatialDataset("wide", random_rects(rng, 10, extent=extent), extent)
+        loaded = load_dataset(save_dataset(ds, tmp_path / "w.npz"))
+        assert loaded.extent == extent
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        ds = SpatialDataset("nested", random_rects(rng, 3))
+        path = save_dataset(ds, tmp_path / "a" / "b" / "c.npz")
+        assert path.exists()
+
+    def test_coordinates_exact(self, tmp_path):
+        # float64 coordinates must survive bit-exactly.
+        rects = RectArray.from_rects([Rect(0.1, 0.2, 0.30000000000000004, 1 / 3)])
+        ds = SpatialDataset("precise", rects, Rect.unit())
+        loaded = load_dataset(save_dataset(ds, tmp_path / "p.npz"))
+        assert np.array_equal(loaded.rects.xmax, rects.xmax)
+
+
+class TestVersioning:
+    def test_unsupported_version_rejected(self, rng, tmp_path):
+        ds = SpatialDataset("v", random_rects(rng, 2))
+        path = save_dataset(ds, tmp_path / "v.npz")
+        blob = dict(np.load(path, allow_pickle=False))
+        blob["version"] = np.int64(999)
+        np.savez(path, **blob)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

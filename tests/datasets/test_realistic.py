@@ -1,0 +1,119 @@
+"""Unit tests for the simulated real-dataset analogues."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_blocks_like,
+    make_points_like,
+    make_polygons_like,
+    make_roads_like,
+    make_streams_like,
+)
+from repro.geometry import Rect
+
+GENERATORS = [
+    make_streams_like,
+    make_blocks_like,
+    make_roads_like,
+    make_points_like,
+    make_polygons_like,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestCommonContract:
+    def test_count(self, generator):
+        assert len(generator(777, seed=0)) == 777
+
+    def test_inside_extent(self, generator):
+        ds = generator(400, seed=1)
+        assert ds.extent.contains_rect(ds.rects.bounds())
+
+    def test_reproducible(self, generator):
+        assert generator(150, seed=9).rects == generator(150, seed=9).rects
+
+    def test_custom_extent(self, generator):
+        extent = Rect(-5, -5, 5, 5)
+        ds = generator(300, seed=2, extent=extent)
+        assert ds.extent == extent
+        assert extent.contains_rect(ds.rects.bounds())
+
+    def test_custom_name(self, generator):
+        assert generator(10, seed=0, name="X").name == "X"
+
+
+class TestStreams:
+    def test_segments_are_thin(self):
+        ds = make_streams_like(3000, seed=0, step=0.004)
+        sides = np.maximum(ds.rects.widths(), ds.rects.heights())
+        assert np.median(sides) < 0.01  # short segments
+
+    def test_spatial_autocorrelation(self):
+        """Consecutive segments of a stream are adjacent — streams are not
+        a uniform scatter."""
+        ds = make_streams_like(3000, seed=0, segments_per_stream=30)
+        cx, cy = ds.rects.centers()
+        consecutive = np.hypot(np.diff(cx[:30]), np.diff(cy[:30]))
+        assert consecutive.max() < 0.05
+
+
+class TestBlocks:
+    def test_high_coverage(self):
+        """Census-block MBRs nearly tile the space."""
+        ds = make_blocks_like(5000, seed=0)
+        assert 0.3 < ds.summary().coverage < 1.2
+
+    def test_size_skew_from_hotspots(self):
+        """Blocks near hotspots are much smaller than rural blocks."""
+        ds = make_blocks_like(5000, seed=0)
+        areas = ds.rects.areas()
+        assert areas.max() > 50 * np.median(areas)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            make_blocks_like(0)
+
+
+class TestRoads:
+    def test_axis_alignment(self):
+        """Most road segments are strongly horizontal or vertical."""
+        ds = make_roads_like(3000, seed=0)
+        w, h = ds.rects.widths(), ds.rects.heights()
+        aspect = np.maximum(w, h) / np.maximum(np.minimum(w, h), 1e-12)
+        assert np.median(aspect) > 3.0
+
+    def test_heavy_clustering(self):
+        ds = make_roads_like(5000, seed=0, zipf_exponent=1.4)
+        cx, cy = ds.rects.centers()
+        hist, _, _ = np.histogram2d(cx, cy, bins=16, range=[[0, 1], [0, 1]])
+        top_share = np.sort(hist.ravel())[::-1][:8].sum() / hist.sum()
+        assert top_share > 0.3  # uniform would give ~8/256
+
+
+class TestPoints:
+    def test_zero_area(self):
+        ds = make_points_like(1000, seed=0)
+        assert np.all(ds.rects.areas() == 0)
+        assert np.all(ds.rects.widths() == 0)
+
+    def test_no_boundary_pileup(self):
+        ds = make_points_like(5000, seed=0)
+        on_border = (
+            (ds.rects.xmin == 0)
+            | (ds.rects.xmin == 1)
+            | (ds.rects.ymin == 0)
+            | (ds.rects.ymin == 1)
+        )
+        assert on_border.sum() == 0
+
+
+class TestPolygons:
+    def test_heavy_tailed_sizes(self):
+        ds = make_polygons_like(3000, seed=0)
+        areas = ds.rects.areas()
+        assert areas.max() > 20 * np.median(areas)
+
+    def test_positive_area(self):
+        ds = make_polygons_like(500, seed=0)
+        assert np.all(ds.rects.areas() > 0)

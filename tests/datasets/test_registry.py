@@ -1,0 +1,79 @@
+"""Unit tests for the paper dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    PAPER_CARDINALITIES,
+    PAPER_PAIR_NAMES,
+    make_paper_dataset,
+    make_paper_pair,
+    paper_pairs,
+)
+from repro.geometry import Rect
+
+
+class TestCardinalities:
+    def test_paper_values(self):
+        assert PAPER_CARDINALITIES["TS"] == 194_971
+        assert PAPER_CARDINALITIES["TCB"] == 556_696
+        assert PAPER_CARDINALITIES["CAS"] == 98_451
+        assert PAPER_CARDINALITIES["CAR"] == 2_249_727
+        assert PAPER_CARDINALITIES["SP"] == 62_555
+        assert PAPER_CARDINALITIES["SPG"] == 79_607
+        assert PAPER_CARDINALITIES["SCRC"] == 100_000
+        assert PAPER_CARDINALITIES["SURA"] == 100_000
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CARDINALITIES))
+    def test_scaling(self, name):
+        ds = make_paper_dataset(name, scale=200)
+        assert len(ds) == max(1, round(PAPER_CARDINALITIES[name] / 200))
+        assert ds.name == name
+
+    def test_cardinality_ratio_preserved(self):
+        cas = make_paper_dataset("CAS", scale=200)
+        car = make_paper_dataset("CAR", scale=200)
+        paper_ratio = PAPER_CARDINALITIES["CAR"] / PAPER_CARDINALITIES["CAS"]
+        assert len(car) / len(cas) == pytest.approx(paper_ratio, rel=0.01)
+
+
+class TestPairs:
+    def test_pair_names(self):
+        assert PAPER_PAIR_NAMES == (
+            ("TS", "TCB"),
+            ("CAS", "CAR"),
+            ("SP", "SPG"),
+            ("SCRC", "SURA"),
+        )
+
+    def test_paper_pairs_keys(self):
+        pairs = paper_pairs(scale=500)
+        assert sorted(pairs) == ["CAS_CAR", "SCRC_SURA", "SP_SPG", "TS_TCB"]
+
+    def test_shared_unit_extent(self):
+        ds1, ds2 = make_paper_pair("SCRC", "SURA", scale=500)
+        assert ds1.extent == ds2.extent == Rect.unit()
+
+    def test_deterministic_across_calls(self):
+        a1, _ = make_paper_pair("TS", "TCB", scale=500)
+        a2, _ = make_paper_pair("TS", "TCB", scale=500)
+        assert a1.rects == a2.rects
+
+    def test_same_dataset_consistent_across_pairs(self):
+        """TS built for any purpose is always the same rectangles."""
+        via_pair, _ = make_paper_pair("TS", "TCB", scale=500)
+        direct = make_paper_dataset("TS", scale=500)
+        assert via_pair.rects == direct.rects
+
+
+class TestValidation:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown paper dataset"):
+            make_paper_dataset("NOPE")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_paper_dataset("TS", scale=0)
+
+    def test_minimum_one_item(self):
+        ds = make_paper_dataset("SP", scale=10**9)
+        assert len(ds) == 1

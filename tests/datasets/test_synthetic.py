@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_clustered,
+    make_diagonal,
+    make_gaussian_clusters,
+    make_grid_aligned,
+    make_uniform,
+)
+from repro.datasets.synthetic import reflect_into
+from repro.geometry import Rect
+
+GENERATORS = [
+    make_uniform,
+    make_clustered,
+    make_gaussian_clusters,
+    make_diagonal,
+    make_grid_aligned,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestCommonContract:
+    def test_count(self, generator):
+        assert len(generator(321, seed=1)) == 321
+
+    def test_data_inside_extent(self, generator):
+        ds = generator(500, seed=2)
+        bounds = ds.rects.bounds()
+        assert ds.extent.contains_rect(bounds)
+
+    def test_reproducible_with_seed(self, generator):
+        assert generator(100, seed=7).rects == generator(100, seed=7).rects
+
+    def test_different_seeds_differ(self, generator):
+        assert generator(100, seed=1).rects != generator(100, seed=2).rects
+
+    def test_custom_extent(self, generator):
+        extent = Rect(10, 20, 30, 50)
+        ds = generator(200, seed=3, extent=extent)
+        assert ds.extent == extent
+        assert extent.contains_rect(ds.rects.bounds())
+
+
+class TestReflectInto:
+    def test_inside_unchanged(self):
+        vals = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(reflect_into(vals, 0, 1), vals)
+
+    def test_overshoot_reflected(self):
+        assert reflect_into(np.array([1.2]), 0, 1)[0] == pytest.approx(0.8)
+        assert reflect_into(np.array([-0.3]), 0, 1)[0] == pytest.approx(0.3)
+
+    def test_far_overshoot_folds_periodically(self):
+        assert 0 <= reflect_into(np.array([17.37]), 0, 1)[0] <= 1
+
+    def test_no_boundary_pileup(self):
+        rng = np.random.default_rng(0)
+        vals = reflect_into(rng.normal(0.5, 2.0, size=10_000), 0, 1)
+        assert ((vals == 0) | (vals == 1)).sum() == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            reflect_into(np.array([0.5]), 1, 1)
+
+
+class TestDistributionShapes:
+    def test_uniform_spread(self):
+        ds = make_uniform(5000, seed=0)
+        cx, cy = ds.rects.centers()
+        # Uniform on [0,1]: mean ~0.5, std ~0.289.
+        assert abs(cx.mean() - 0.5) < 0.02
+        assert abs(cx.std() - 0.2887) < 0.02
+
+    def test_clustered_concentrates_at_center(self):
+        ds = make_clustered(5000, seed=0, center=(0.4, 0.7), spread=0.05)
+        cx, cy = ds.rects.centers()
+        assert abs(cx.mean() - 0.4) < 0.01
+        assert abs(cy.mean() - 0.7) < 0.01
+        assert cx.std() < 0.08
+
+    def test_clustered_respects_spread(self):
+        tight = make_clustered(3000, seed=0, spread=0.02)
+        loose = make_clustered(3000, seed=0, spread=0.2)
+        assert tight.rects.centers()[0].std() < loose.rects.centers()[0].std()
+
+    def test_gaussian_clusters_skew(self):
+        ds = make_gaussian_clusters(5000, seed=0, n_clusters=10, zipf_exponent=2.0)
+        # With exponent 2 the first cluster holds most of the mass, so the
+        # point cloud is far from uniform: compare cell occupancy entropy.
+        cx, cy = ds.rects.centers()
+        hist, _, _ = np.histogram2d(cx, cy, bins=8, range=[[0, 1], [0, 1]])
+        top_share = hist.max() / hist.sum()
+        assert top_share > 0.1  # uniform would give ~1/64
+
+    def test_gaussian_clusters_custom_centers(self):
+        ds = make_gaussian_clusters(
+            1000, seed=0, centers=[(0.25, 0.25)], spread_range=(0.01, 0.011)
+        )
+        cx, cy = ds.rects.centers()
+        assert abs(cx.mean() - 0.25) < 0.01
+
+    def test_gaussian_clusters_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            make_gaussian_clusters(10, n_clusters=0)
+
+    def test_diagonal_correlation(self):
+        ds = make_diagonal(3000, seed=0, jitter=0.01)
+        cx, cy = ds.rects.centers()
+        assert np.corrcoef(cx, cy)[0, 1] > 0.95
+
+    def test_grid_aligned_contained_in_cells(self):
+        grid = 16
+        ds = make_grid_aligned(2000, seed=0, grid=grid)
+        r = ds.rects
+        ci0 = np.floor(r.xmin * grid).astype(int)
+        # Cells are half-open; an xmax exactly on a line belongs left.
+        ci1 = np.ceil(r.xmax * grid).astype(int) - 1
+        assert np.all(ci0 >= np.minimum(ci1, ci0))
+        assert np.all(ci1 - ci0 <= 0)
+
+    def test_grid_aligned_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            make_grid_aligned(10, fill_fraction=0.0)
+
+    def test_mean_side_parameter(self):
+        small = make_uniform(3000, seed=0, mean_width=0.001, mean_height=0.001)
+        large = make_uniform(3000, seed=0, mean_width=0.05, mean_height=0.05)
+        assert small.rects.widths().mean() < large.rects.widths().mean()
+        assert large.rects.widths().mean() == pytest.approx(0.05, rel=0.15)
+
+    def test_generator_instance_accepted_as_seed(self):
+        gen = np.random.default_rng(5)
+        ds = make_uniform(10, seed=gen)
+        assert len(ds) == 10

@@ -1,0 +1,100 @@
+"""Smoke tests of the ``python -m repro.eval`` command-line interface."""
+
+import pytest
+
+from repro.eval.__main__ import _parse_levels, main
+
+
+class TestParseLevels:
+    def test_range(self):
+        assert _parse_levels("0-3") == [0, 1, 2, 3]
+
+    def test_list(self):
+        assert _parse_levels("0,3,7") == [0, 3, 7]
+
+    def test_single(self):
+        assert _parse_levels("5") == [5]
+
+
+@pytest.mark.slow
+class TestMain:
+    """End-to-end CLI runs at an aggressive scale (tiny datasets)."""
+
+    SCALE = "2000"
+
+    def test_fig7(self, capsys):
+        rc = main(["fig7", "--scale", self.SCALE, "--levels", "0,2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7 — TS_TCB" in out
+        assert "GH" in out and "PH" in out
+
+    def test_fig6(self, capsys):
+        rc = main(["fig6", "--scale", self.SCALE, "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 6 — SCRC_SURA" in out
+        assert "RSWR" in out
+
+    def test_out_file(self, capsys, tmp_path):
+        target = tmp_path / "report.txt"
+        rc = main(["fig7", "--scale", self.SCALE, "--levels", "1", "--out", str(target)])
+        assert rc == 0
+        assert "Figure 7" in target.read_text()
+
+    def test_scheme_selection(self, capsys):
+        rc = main(["fig7", "--scale", self.SCALE, "--levels", "1", "--schemes", "gh"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GH" in out
+        assert "  PH " not in out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        import csv as csv_mod
+
+        from repro.datasets import make_uniform
+        from repro.eval import prepare_pair, run_histogram_experiment, write_csv
+
+        ctx = prepare_pair("X", make_uniform(300, seed=1), make_uniform(300, seed=2))
+        cells = run_histogram_experiment([ctx], levels=(0, 1), schemes=("gh",))
+        path = write_csv(cells, tmp_path / "fig7.csv")
+        with open(path) as handle:
+            rows = list(csv_mod.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["pair"] == "X"
+        assert float(rows[0]["error_pct"]) >= 0
+
+    def test_empty_rejected(self, tmp_path):
+        from repro.eval import write_csv
+
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "nope.csv")
+
+    def test_mixed_types_rejected(self, tmp_path):
+        from repro.eval import write_csv
+        from repro.eval.harness import HistogramCell, SamplingCell
+
+        a = SamplingCell("p", "1/1", "rs", 0.1, 1, 1, 1, 0.1)
+        b = HistogramCell("p", "gh", 1, 0.1, 1, 1, 1, 1, 0.1, 0.1, 10)
+        with pytest.raises(TypeError):
+            write_csv([a, b], tmp_path / "nope.csv")
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        from repro.eval import write_csv
+
+        with pytest.raises(TypeError):
+            write_csv([{"a": 1}], tmp_path / "nope.csv")
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        rc = main([
+            "fig7", "--scale", "2000", "--levels", "1", "--schemes", "gh",
+            "--csv", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "out" / "figure7.csv").exists()

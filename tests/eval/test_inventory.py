@@ -1,0 +1,41 @@
+"""Unit tests for the dataset-inventory report."""
+
+import pytest
+
+from repro.datasets import make_uniform
+from repro.eval import prepare_pair, render_inventory, run_inventory
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    a = make_uniform(300, seed=130, name="A")
+    b = make_uniform(400, seed=131, name="B")
+    c = make_uniform(200, seed=132, name="C")
+    return [prepare_pair("A_B", a, b), prepare_pair("B_C", b, c)]
+
+
+class TestRunInventory:
+    def test_datasets_deduplicated(self, contexts):
+        dataset_rows, pair_rows = run_inventory(contexts)
+        assert [r.name for r in dataset_rows] == ["A", "B", "C"]
+        assert len(pair_rows) == 2
+
+    def test_summary_values(self, contexts):
+        dataset_rows, _ = run_inventory(contexts)
+        a = next(r for r in dataset_rows if r.name == "A")
+        assert a.count == 300
+        assert a.coverage > 0
+
+    def test_pair_ground_truth(self, contexts):
+        _, pair_rows = run_inventory(contexts)
+        ab = next(r for r in pair_rows if r.pair == "A_B")
+        assert ab.count1 == 300 and ab.count2 == 400
+        assert ab.actual_selectivity == pytest.approx(
+            ab.actual_pairs / (300 * 400)
+        )
+
+    def test_render(self, contexts):
+        text = render_inventory(*run_inventory(contexts))
+        assert "Datasets" in text
+        assert "Join pairs" in text
+        assert "A_B" in text

@@ -1,0 +1,61 @@
+"""Unit tests for the sampling-stability experiment."""
+
+import pytest
+
+from repro.core import SampleCombo
+from repro.datasets import make_clustered, make_uniform
+from repro.eval import (
+    prepare_pair,
+    render_stability,
+    run_stability_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    a = make_uniform(1500, seed=110, mean_width=0.01, mean_height=0.01)
+    b = make_clustered(1500, seed=111, mean_width=0.01, mean_height=0.01)
+    return prepare_pair("U_C", a, b)
+
+
+class TestStabilityExperiment:
+    def test_row_shape(self, context):
+        rows = run_stability_experiment(
+            [context], combos=(SampleCombo(10, 10),), repeats=4
+        )
+        assert len(rows) == 2  # one sampling row + the GH reference
+        techniques = [r.technique for r in rows]
+        assert "rswr 10/10" in techniques
+        assert any(t.startswith("gh") for t in techniques)
+
+    def test_gh_reference_has_zero_spread(self, context):
+        rows = run_stability_experiment(
+            [context], combos=(SampleCombo(10, 10),), repeats=4
+        )
+        gh_row = next(r for r in rows if r.technique.startswith("gh"))
+        assert gh_row.spread_pct == 0.0
+
+    def test_sampling_spread_positive(self, context):
+        rows = run_stability_experiment(
+            [context], combos=(SampleCombo(5, 5),), repeats=6
+        )
+        sampling = next(r for r in rows if r.technique.startswith("rswr"))
+        assert sampling.spread_pct > 0.0
+
+    def test_spread_shrinks_with_sample_size(self, context):
+        rows = run_stability_experiment(
+            [context],
+            combos=(SampleCombo(2, 2), SampleCombo(20, 20)),
+            repeats=8,
+        )
+        small = next(r for r in rows if r.technique == "rswr 2/2")
+        large = next(r for r in rows if r.technique == "rswr 20/20")
+        assert large.spread_pct < small.spread_pct
+
+    def test_render(self, context):
+        rows = run_stability_experiment(
+            [context], combos=(SampleCombo(10, 10),), repeats=3
+        )
+        text = render_stability(rows)
+        assert "Stability — U_C" in text
+        assert "spread" in text

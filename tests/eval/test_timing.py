@@ -1,0 +1,38 @@
+"""Unit tests for the adaptive timing helper."""
+
+import time
+
+from repro.eval import measure_seconds
+
+
+class TestMeasureSeconds:
+    def test_fast_function_repeated(self):
+        calls = []
+        result = measure_seconds(lambda: calls.append(1), min_total_seconds=0.01)
+        assert len(calls) >= 3
+        assert result >= 0
+
+    def test_slow_function_not_over_repeated(self):
+        calls = []
+
+        def slow():
+            calls.append(1)
+            time.sleep(0.02)
+
+        measure_seconds(slow, min_repeats=1, min_total_seconds=0.01)
+        assert len(calls) <= 2
+
+    def test_mean_is_plausible(self):
+        result = measure_seconds(lambda: time.sleep(0.005), min_repeats=3,
+                                 min_total_seconds=0.0)
+        assert 0.003 < result < 0.1
+
+    def test_max_repeats_caps_runs(self):
+        calls = []
+        measure_seconds(
+            lambda: calls.append(1),
+            min_repeats=1,
+            min_total_seconds=60.0,
+            max_repeats=50,
+        )
+        assert len(calls) == 50

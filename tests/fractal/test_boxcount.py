@@ -1,0 +1,73 @@
+"""Unit tests for box-counting statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.fractal import box_occupancies, occupancy_profile, sum_squared_occupancy
+from repro.geometry import RectArray
+
+
+def points(xs, ys) -> SpatialDataset:
+    return SpatialDataset("p", RectArray.from_points(np.asarray(xs), np.asarray(ys)))
+
+
+class TestBoxOccupancies:
+    def test_counts_sum_to_n(self, rng):
+        ds = points(rng.random(500), rng.random(500))
+        occ = box_occupancies(ds, 3)
+        assert occ.sum() == 500
+        assert len(occ) == 64
+
+    def test_level_zero_single_bucket(self, rng):
+        ds = points(rng.random(50), rng.random(50))
+        occ = box_occupancies(ds, 0)
+        assert occ.tolist() == [50]
+
+    def test_known_placement(self):
+        ds = points([0.1, 0.9, 0.9], [0.1, 0.9, 0.85])
+        occ = box_occupancies(ds, 1)
+        # Cell (0,0) has one point; cell (1,1) has two.
+        assert occ[0] == 1
+        assert occ[3] == 2
+
+    def test_boundary_points_clamped(self):
+        ds = points([0.0, 1.0], [0.0, 1.0])
+        occ = box_occupancies(ds, 2)
+        assert occ.sum() == 2
+
+    def test_rect_dataset_uses_centers(self):
+        rects = RectArray.from_coords([[0.1, 0.1, 0.3, 0.3]])
+        ds = SpatialDataset("r", rects)
+        occ = box_occupancies(ds, 2)  # center (0.2, 0.2) -> cell (0, 0)
+        assert occ[0] == 1
+
+
+class TestSumSquaredOccupancy:
+    def test_all_separate(self):
+        ds = points([0.1, 0.4, 0.6, 0.9], [0.1, 0.4, 0.6, 0.9])
+        assert sum_squared_occupancy(ds, 2) == 4  # one point per cell
+
+    def test_all_together(self):
+        ds = points([0.5] * 10, [0.5] * 10)
+        assert sum_squared_occupancy(ds, 1) == 100
+
+    def test_monotone_nonincreasing_in_level(self, rng):
+        """Finer grids can only split cells: S2 never increases."""
+        ds = points(rng.random(1000), rng.random(1000))
+        values = [sum_squared_occupancy(ds, level) for level in range(7)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_extremes(self, rng):
+        ds = points(rng.random(100), rng.random(100))
+        s2 = sum_squared_occupancy(ds, 4)
+        assert 100 <= s2 <= 100**2
+
+
+class TestOccupancyProfile:
+    def test_profile_fields(self, rng):
+        ds = points(rng.random(200), rng.random(200))
+        profile = occupancy_profile(ds, [1, 3, 5])
+        assert [p.level for p in profile] == [1, 3, 5]
+        assert profile[0].cell_side == pytest.approx(0.5)
+        assert all(p.s2 >= 200 for p in profile)

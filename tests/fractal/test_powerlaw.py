@@ -1,0 +1,137 @@
+"""Unit tests for the fractal/power-law estimators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_points_like
+from repro.fractal import (
+    CorrelationDimensionEstimator,
+    CrossPowerLawEstimator,
+    PowerLawFit,
+    pairs_within_distance,
+)
+from repro.geometry import Rect, RectArray
+
+
+def points(xs, ys, name="p") -> SpatialDataset:
+    return SpatialDataset(name, RectArray.from_points(np.asarray(xs), np.asarray(ys)))
+
+
+@pytest.fixture(scope="module")
+def uniform_points():
+    rng = np.random.default_rng(90)
+    return points(rng.random(8000), rng.random(8000))
+
+
+class TestPowerLawFit:
+    def test_exact_law_recovered(self):
+        fit = PowerLawFit(exponent=2.0, intercept=np.log(3.0))
+        assert fit(0.5) == pytest.approx(3.0 * 0.25)
+
+    def test_zero_eps(self):
+        assert PowerLawFit(1.0, 0.0)(0.0) == 0.0
+
+
+class TestCorrelationDimension:
+    def test_uniform_dimension_near_two(self, uniform_points):
+        est = CorrelationDimensionEstimator(uniform_points)
+        assert est.correlation_dimension == pytest.approx(2.0, abs=0.15)
+
+    def test_line_dimension_near_one(self):
+        rng = np.random.default_rng(91)
+        t = rng.random(8000)
+        ds = points(t, np.clip(t + 0.0005 * rng.standard_normal(8000), 0, 1))
+        est = CorrelationDimensionEstimator(ds)
+        assert est.correlation_dimension == pytest.approx(1.0, abs=0.25)
+
+    def test_atomic_dimension_near_zero(self):
+        rng = np.random.default_rng(92)
+        base = np.full(3000, 0.5) + 0.0004 * rng.standard_normal(3000)
+        ds = points(np.clip(base, 0, 1), np.clip(base, 0, 1))
+        est = CorrelationDimensionEstimator(ds, levels=range(1, 6))
+        assert est.correlation_dimension == pytest.approx(0.0, abs=0.2)
+
+    def test_pair_estimates_track_truth_uniform(self, uniform_points):
+        est = CorrelationDimensionEstimator(uniform_points)
+        for eps in (0.005, 0.02, 0.05):
+            truth = pairs_within_distance(uniform_points, None, eps)
+            assert est.estimate_pairs(eps) == pytest.approx(truth, rel=0.35)
+
+    def test_selectivity_normalization(self, uniform_points):
+        est = CorrelationDimensionEstimator(uniform_points)
+        eps = 0.02
+        n = len(uniform_points)
+        assert est.estimate_selectivity(eps) == pytest.approx(
+            est.estimate_pairs(eps) / n**2
+        )
+
+    def test_rejects_non_point_data(self):
+        rects = SpatialDataset("r", RectArray.from_coords([[0, 0, 0.5, 0.5]] * 10))
+        with pytest.raises(ValueError, match="point datasets"):
+            CorrelationDimensionEstimator(rects)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            CorrelationDimensionEstimator(points([0.5], [0.5]))
+
+    def test_negative_eps_rejected(self, uniform_points):
+        est = CorrelationDimensionEstimator(uniform_points)
+        with pytest.raises(ValueError):
+            est.estimate_pairs(-0.1)
+
+
+class TestCrossPowerLaw:
+    def test_exponent_near_two_for_uniformish(self):
+        p1 = make_points_like(5000, seed=93)
+        p2 = make_points_like(5000, seed=94)
+        est = CrossPowerLawEstimator(p1, p2)
+        assert 1.0 < est.pair_count_exponent < 3.0
+
+    def test_pair_estimates_track_truth(self):
+        p1 = make_points_like(6000, seed=95)
+        p2 = make_points_like(6000, seed=96)
+        est = CrossPowerLawEstimator(p1, p2)
+        for eps in (0.01, 0.04):
+            truth = pairs_within_distance(p1, p2, eps)
+            assert est.estimate_pairs(eps) == pytest.approx(truth, rel=0.5)
+
+    def test_extent_mismatch_rejected(self, uniform_points):
+        other = SpatialDataset(
+            "o", RectArray.from_points(np.array([1.5]), np.array([1.5])),
+            Rect(0, 0, 2, 2),
+        )
+        with pytest.raises(ValueError, match="common extent"):
+            CrossPowerLawEstimator(uniform_points, other)
+
+    def test_empty_rejected(self, uniform_points):
+        empty = SpatialDataset("e", RectArray.empty())
+        with pytest.raises(ValueError):
+            CrossPowerLawEstimator(uniform_points, empty)
+
+
+class TestGroundTruth:
+    def test_distance_semantics(self):
+        # Binary-exact coordinates so the closed boundary is hit exactly.
+        ds1 = points([0.25], [0.5], "a")
+        ds2 = points([0.5], [0.5], "b")
+        assert pairs_within_distance(ds1, ds2, 0.25) == 1  # exactly touching
+        assert pairs_within_distance(ds1, ds2, 0.125) == 0
+
+    def test_linf_not_l2(self):
+        # Diagonal offset (0.25, 0.25): L∞ distance 0.25, L2 ≈ 0.354.
+        ds1 = points([0.25], [0.25], "a")
+        ds2 = points([0.5], [0.5], "b")
+        assert pairs_within_distance(ds1, ds2, 0.25) == 1
+
+    def test_self_join_excludes_diagonal(self):
+        ds = points([0.2, 0.8], [0.2, 0.8])
+        assert pairs_within_distance(ds, None, 0.01) == 0
+
+    def test_self_join_counts_ordered_pairs(self):
+        ds = points([0.5, 0.505], [0.5, 0.5])
+        assert pairs_within_distance(ds, None, 0.01) == 2
+
+    def test_dimension_restriction_on_ds2(self, uniform_points):
+        rects = SpatialDataset("r", RectArray.from_coords([[0, 0, 0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            pairs_within_distance(uniform_points, rects, 0.1)

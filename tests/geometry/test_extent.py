@@ -1,0 +1,107 @@
+"""Unit tests for extent computation and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    NormalizationTransform,
+    Rect,
+    RectArray,
+    common_extent,
+    normalize_to_unit,
+    pad_extent,
+)
+from tests.conftest import random_rects
+
+
+class TestCommonExtent:
+    def test_single_array(self):
+        arr = RectArray.from_rects([Rect(1, 2, 3, 4), Rect(0, 3, 2, 5)])
+        assert common_extent(arr) == Rect(0, 2, 3, 5)
+
+    def test_multiple_arrays(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        b = RectArray.from_rects([Rect(5, 5, 6, 6)])
+        assert common_extent(a, b) == Rect(0, 0, 6, 6)
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            common_extent(RectArray.empty())
+
+    def test_ignores_empty_arrays(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        assert common_extent(a, RectArray.empty()) == Rect(0, 0, 1, 1)
+
+    def test_pad_fraction(self):
+        arr = RectArray.from_rects([Rect(0, 0, 10, 10)])
+        padded = common_extent(arr, pad_fraction=0.1)
+        assert padded == Rect(-1, -1, 11, 11)
+
+    def test_degenerate_extent_widened(self):
+        # All data on one point: extent must still have positive area.
+        arr = RectArray.from_points(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        extent = common_extent(arr)
+        assert extent.width > 0 and extent.height > 0
+        assert extent.contains_point(2.0, 3.0)
+
+    def test_degenerate_line_widened(self):
+        arr = RectArray.from_rects([Rect(0, 1, 5, 1)])
+        extent = common_extent(arr)
+        assert extent.height > 0
+
+
+class TestPadExtent:
+    def test_pad(self):
+        assert pad_extent(Rect(0, 0, 2, 4), 0.5) == Rect(-1, -2, 3, 6)
+
+    def test_zero_pad_identity(self):
+        r = Rect(0, 0, 1, 1)
+        assert pad_extent(r, 0.0) == r
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(ValueError):
+            pad_extent(Rect(0, 0, 1, 1), -0.1)
+
+
+class TestNormalizationTransform:
+    def test_maps_source_onto_unit(self):
+        tf = NormalizationTransform(Rect(10, 20, 30, 60))
+        arr = RectArray.from_rects([Rect(10, 20, 30, 60)])
+        out = tf.apply(arr)
+        assert out[0] == Rect(0, 0, 1, 1)
+
+    def test_apply_rect(self):
+        tf = NormalizationTransform(Rect(0, 0, 2, 2))
+        assert tf.apply_rect(Rect(1, 1, 2, 2)) == Rect(0.5, 0.5, 1, 1)
+
+    def test_round_trip(self, rng):
+        arr = random_rects(rng, 50, extent=Rect(-3, 7, 12, 19))
+        tf = NormalizationTransform(Rect(-3, 7, 12, 19))
+        back = tf.invert(tf.apply(arr))
+        assert np.allclose(back.xmin, arr.xmin)
+        assert np.allclose(back.ymax, arr.ymax)
+
+    def test_selectivity_invariance(self, rng):
+        # Normalization is a bijection on pairs: join counts are unchanged.
+        from repro.join import nested_loop_count
+
+        a = random_rects(rng, 150, extent=Rect(100, 200, 300, 500))
+        b = random_rects(rng, 150, extent=Rect(100, 200, 300, 500))
+        tf = NormalizationTransform(Rect(100, 200, 300, 500))
+        assert nested_loop_count(a, b) == nested_loop_count(tf.apply(a), tf.apply(b))
+
+    def test_degenerate_source_widened(self):
+        tf = NormalizationTransform(Rect(1, 1, 1, 5))
+        assert tf.source.width > 0
+
+
+class TestNormalizeToUnit:
+    def test_shared_transform(self, rng):
+        a = random_rects(rng, 20, extent=Rect(0, 0, 4, 4))
+        b = random_rects(rng, 20, extent=Rect(2, 2, 8, 8))
+        (na, nb), tf = normalize_to_unit(a, b)
+        merged = RectArray.concatenate([na, nb])
+        bounds = merged.bounds()
+        assert bounds.xmin >= 0 and bounds.ymin >= 0
+        assert bounds.xmax <= 1 + 1e-12 and bounds.ymax <= 1 + 1e-12
+        assert tf.source == common_extent(a, b)

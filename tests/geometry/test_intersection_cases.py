@@ -1,0 +1,88 @@
+"""The paper's Figure 2: the twelve ways two rectangles can intersect.
+
+The GH scheme rests on the observation that every proper intersection
+yields exactly four "intersecting points", each produced either by a
+corner of one MBR inside the other (source a) or by a horizontal edge of
+one crossing a vertical edge of the other (source b).  These tests
+enumerate all twelve Figure 2 configurations and check the per-source
+counts the paper states for each.
+"""
+
+import pytest
+
+from repro.geometry import Rect, classify_intersection_points, intersection_points
+
+# Each case: (rect_a, rect_b, corner_points, crossing_points) with the
+# counts taken from the paper's description of Figure 2:
+#   cases 1-4:   2 corner points + 2 crossings   (corner overlap)
+#   cases 5-6:   0 corners + 4 crossings          (cross / band overlap)
+#   cases 7-10:  2 corners + 2 crossings          (edge-through overlap)
+#   cases 11-12: 4 corners + 0 crossings          (containment)
+B = Rect(0.0, 0.0, 10.0, 10.0)
+
+FIGURE2_CASES = [
+    # 1-4: one corner of A inside B (four orientations).
+    ("case01_corner_ll", Rect(-5, -5, 3, 3), B, 2, 2),
+    ("case02_corner_lr", Rect(7, -5, 15, 3), B, 2, 2),
+    ("case03_corner_ur", Rect(7, 7, 15, 15), B, 2, 2),
+    ("case04_corner_ul", Rect(-5, 7, 3, 15), B, 2, 2),
+    # 5-6: A spans B in one axis and sticks out on the other (a "cross").
+    ("case05_vertical_band", Rect(3, -5, 7, 15), B, 0, 4),
+    ("case06_horizontal_band", Rect(-5, 3, 15, 7), B, 0, 4),
+    # 7-10: one side of A cuts through B (two corners of A inside B).
+    ("case07_from_left", Rect(-5, 3, 4, 7), B, 2, 2),
+    ("case08_from_right", Rect(6, 3, 15, 7), B, 2, 2),
+    ("case09_from_below", Rect(3, -5, 7, 4), B, 2, 2),
+    ("case10_from_above", Rect(3, 6, 7, 15), B, 2, 2),
+    # 11-12: containment (either direction).
+    ("case11_a_inside_b", Rect(3, 3, 7, 7), B, 4, 0),
+    ("case12_b_inside_a", Rect(-5, -5, 15, 15), B, 4, 0),
+]
+
+
+@pytest.mark.parametrize(
+    "name,a,b,corners,crossings", FIGURE2_CASES, ids=[c[0] for c in FIGURE2_CASES]
+)
+class TestFigure2:
+    def test_breakdown_counts(self, name, a, b, corners, crossings):
+        breakdown = classify_intersection_points(a, b)
+        assert breakdown.corner_points == corners
+        assert breakdown.crossing_points == crossings
+
+    def test_total_is_four(self, name, a, b, corners, crossings):
+        assert classify_intersection_points(a, b).total == 4
+
+    def test_symmetry(self, name, a, b, corners, crossings):
+        forward = classify_intersection_points(a, b)
+        backward = classify_intersection_points(b, a)
+        assert forward == backward
+
+    def test_intersection_has_four_corner_points(self, name, a, b, corners, crossings):
+        assert len(intersection_points(a, b)) == 4
+
+
+class TestDegenerateConfigurations:
+    """Configurations outside Figure 2's general position."""
+
+    def test_disjoint_pair_has_no_points(self):
+        breakdown = classify_intersection_points(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+        assert breakdown.total == 0
+        assert intersection_points(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)) == ()
+
+    def test_touching_edges_are_not_proper_points(self):
+        # Touching rectangles intersect but produce no *proper* corner
+        # containments or crossings (all contacts are on boundaries).
+        a, b = Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)
+        assert a.intersects(b)
+        assert classify_intersection_points(a, b).total == 0
+
+    def test_identical_rects(self):
+        r = Rect(0, 0, 1, 1)
+        # Shared boundaries: no strict containments, no proper crossings.
+        assert classify_intersection_points(r, r).total == 0
+
+    def test_point_inside_rect_counts_four_corner_points(self):
+        point = Rect.point(5, 5)
+        breakdown = classify_intersection_points(point, B)
+        assert breakdown.corner_points == 4
+        assert breakdown.crossing_points == 0

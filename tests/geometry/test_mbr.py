@@ -1,0 +1,131 @@
+"""Unit tests for the vector-geometry → MBR abstraction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Rect,
+    points_mbrs,
+    polygon_mbrs,
+    polyline_mbrs,
+    segment_mbrs,
+)
+
+
+class TestPointsMbrs:
+    def test_pair_form(self):
+        arr = points_mbrs((np.array([1.0, 2.0]), np.array([3.0, 4.0])))
+        assert arr[0] == Rect.point(1, 3)
+        assert arr[1] == Rect.point(2, 4)
+
+    def test_array_form(self):
+        arr = points_mbrs(np.array([[1.0, 3.0], [2.0, 4.0]]))
+        assert arr[0] == Rect.point(1, 3)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            points_mbrs(np.zeros((2, 3)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            points_mbrs((np.array([1.0]), np.array([1.0, 2.0])))
+
+
+class TestPolylineMbrs:
+    def test_single_line(self):
+        arr = polyline_mbrs([np.array([[0, 0], [2, 1], [1, 3]], dtype=float)])
+        assert arr[0] == Rect(0, 0, 2, 3)
+
+    def test_multiple_lines(self):
+        lines = [
+            np.array([[0, 0], [1, 1]], dtype=float),
+            np.array([[5, 5], [6, 4]], dtype=float),
+        ]
+        arr = polyline_mbrs(lines)
+        assert len(arr) == 2
+        assert arr[1] == Rect(5, 4, 6, 5)
+
+    def test_empty_iterable(self):
+        assert len(polyline_mbrs([])) == 0
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError, match="at least one vertex"):
+            polyline_mbrs([np.empty((0, 2))])
+
+    def test_single_vertex_degenerate(self):
+        arr = polyline_mbrs([np.array([[2.0, 3.0]])])
+        assert arr[0].is_point
+
+
+class TestSegmentMbrs:
+    def test_chain_produces_n_minus_1(self):
+        chain = np.array([[0, 0], [1, 2], [3, 1], [2, 4]], dtype=float)
+        arr = segment_mbrs([chain])
+        assert len(arr) == 3
+        assert arr[0] == Rect(0, 0, 1, 2)
+        assert arr[1] == Rect(1, 1, 3, 2)
+        assert arr[2] == Rect(2, 1, 3, 4)
+
+    def test_segments_are_thin(self):
+        # Horizontal segment → zero-height MBR.
+        arr = segment_mbrs([np.array([[0, 1], [5, 1]], dtype=float)])
+        assert arr[0].height == 0
+
+    def test_short_lines_skipped(self):
+        arr = segment_mbrs([np.array([[1.0, 1.0]]), np.empty((0, 2))])
+        assert len(arr) == 0
+
+    def test_multiple_chains_concatenated(self):
+        chains = [
+            np.array([[0, 0], [1, 0], [2, 0]], dtype=float),
+            np.array([[5, 5], [6, 6]], dtype=float),
+        ]
+        assert len(segment_mbrs(chains)) == 3
+
+    def test_union_of_segments_covers_polyline_mbr(self, rng):
+        chain = rng.random((20, 2))
+        segments = segment_mbrs([chain])
+        whole = polyline_mbrs([chain])[0]
+        assert segments.bounds() == whole
+
+
+class TestPolygonMbrs:
+    def test_triangle(self):
+        ring = np.array([[0, 0], [4, 0], [2, 3]], dtype=float)
+        assert polygon_mbrs([ring])[0] == Rect(0, 0, 4, 3)
+
+    def test_closed_ring_same_result(self):
+        opened = np.array([[0, 0], [4, 0], [2, 3]], dtype=float)
+        closed = np.vstack([opened, opened[:1]])
+        assert polygon_mbrs([opened])[0] == polygon_mbrs([closed])[0]
+
+    def test_degenerate_ring_rejected(self):
+        with pytest.raises(ValueError, match="three vertices"):
+            polygon_mbrs([np.array([[0, 0], [1, 1]], dtype=float)])
+
+    def test_empty_iterable(self):
+        assert len(polygon_mbrs([])) == 0
+
+
+class TestEndToEnd:
+    def test_vector_data_to_selectivity(self, rng):
+        """The advertised workflow: raw vector features -> MBR dataset ->
+        GH estimate."""
+        from repro.datasets import SpatialDataset
+        from repro.histograms import gh_selectivity
+        from repro.join import actual_selectivity
+
+        chains = [np.cumsum(rng.normal(0, 0.01, (30, 2)), axis=0) + rng.random(2) * 0.8
+                  for _ in range(120)]
+        rings = [rng.random(2) * 0.9 + rng.random((5, 2)) * 0.08 for _ in range(800)]
+
+        from repro.geometry import common_extent
+
+        streams = segment_mbrs(chains)
+        parcels = polygon_mbrs(rings)
+        extent = common_extent(streams, parcels, pad_fraction=0.01)
+        ds1 = SpatialDataset("streams", streams, extent)
+        ds2 = SpatialDataset("parcels", parcels, extent)
+        est = gh_selectivity(ds1, ds2, 5)
+        truth = actual_selectivity(streams, parcels)
+        assert est == pytest.approx(truth, rel=0.5)

@@ -1,0 +1,71 @@
+"""Unit tests for geometry predicates beyond the Figure 2 case table."""
+
+import numpy as np
+
+from repro.geometry import (
+    Rect,
+    RectArray,
+    count_corner_containments,
+    count_edge_crossings,
+    intersection_points,
+    intersection_rect,
+    pairwise_intersection_mask,
+    rects_intersect,
+)
+from tests.conftest import random_rects
+
+
+class TestScalarPredicates:
+    def test_rects_intersect_delegates(self):
+        assert rects_intersect(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+        assert not rects_intersect(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+
+    def test_intersection_rect(self):
+        assert intersection_rect(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)) == Rect(1, 1, 2, 2)
+        assert intersection_rect(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_points_are_intersection_corners(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)
+        assert intersection_points(a, b) == Rect(1, 1, 2, 2).corners()
+
+    def test_corner_containment_is_strict(self):
+        # Corner exactly on the boundary does not count.
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 2, 2)  # corner of b at (1,1) on a's boundary
+        assert count_corner_containments(a, b) == 0
+
+    def test_edge_crossing_requires_proper_crossing(self):
+        # Vertical edge ending exactly on the horizontal edge: no crossing.
+        a = Rect(0, 0.5, 2, 1.5)
+        b = Rect(0.5, 0.0, 1.5, 0.5)  # b's top edge on a's bottom edge
+        assert count_edge_crossings(a, b) == 0
+
+    def test_crossing_band_has_four(self):
+        a = Rect(0, 3, 10, 7)
+        b = Rect(3, 0, 7, 10)
+        assert count_edge_crossings(a, b) == 4
+        assert count_corner_containments(a, b) == 0
+
+
+class TestPairwiseMask:
+    def test_matches_scalar_loop(self, rng):
+        a = random_rects(rng, 40)
+        b = random_rects(rng, 30)
+        mask = pairwise_intersection_mask(a, b)
+        assert mask.shape == (40, 30)
+        for i in range(40):
+            for j in range(30):
+                assert mask[i, j] == a[i].intersects(b[j])
+
+    def test_empty_inputs(self):
+        mask = pairwise_intersection_mask(RectArray.empty(), RectArray.empty())
+        assert mask.shape == (0, 0)
+
+    def test_touching_counts_in_mask(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        b = RectArray.from_rects([Rect(1, 0, 2, 1)])
+        assert pairwise_intersection_mask(a, b)[0, 0]
+
+    def test_mask_dtype_is_bool(self, rng):
+        a = random_rects(rng, 5)
+        assert pairwise_intersection_mask(a, a).dtype == np.bool_

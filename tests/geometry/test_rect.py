@@ -1,0 +1,181 @@
+"""Unit tests for the Rect value type."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        r = Rect(1.0, 2.0, 3.0, 5.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (1.0, 2.0, 3.0, 5.0)
+
+    def test_rejects_inverted_x(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+
+    def test_rejects_inverted_y(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 2.0, 1.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Rect(math.nan, 0.0, 1.0, 1.0)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect(0.5, 0.5, 0.5, 0.5)
+        assert r.is_point
+        assert r.is_degenerate
+        assert r.area == 0.0
+
+    def test_degenerate_segment_allowed(self):
+        r = Rect(0.0, 0.5, 1.0, 0.5)
+        assert not r.is_point
+        assert r.is_degenerate
+
+    def test_from_center(self):
+        r = Rect.from_center(0.5, 0.5, 0.2, 0.4)
+        assert r.as_tuple() == pytest.approx((0.4, 0.3, 0.6, 0.7))
+
+    def test_from_center_rejects_negative_sides(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0.0, 0.0, -1.0, 1.0)
+
+    def test_from_points_normalizes_order(self):
+        assert Rect.from_points(3, 4, 1, 2) == Rect(1, 2, 3, 4)
+
+    def test_point_constructor(self):
+        assert Rect.point(0.3, 0.7) == Rect(0.3, 0.7, 0.3, 0.7)
+
+    def test_unit(self):
+        assert Rect.unit() == Rect(0, 0, 1, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Rect.unit().xmin = 5  # type: ignore[misc]
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.width == 2
+        assert r.height == 3
+        assert r.area == 6
+        assert r.perimeter == 10
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center == (1.0, 2.0)
+
+    def test_corners_order(self):
+        r = Rect(0, 0, 1, 2)
+        assert r.corners() == ((0, 0), (1, 0), (1, 2), (0, 2))
+
+    def test_point_has_four_coincident_corners(self):
+        assert Rect.point(1, 1).corners() == ((1, 1),) * 4
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_is_symmetric(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)
+        assert a.intersects(b) == b.intersects(a)
+
+    def test_touching_edge_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_touching_corner_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_disjoint_in_y_only(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(0, 2, 1, 3))
+
+    def test_contains_point_interior_and_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0.5, 0.5)
+        assert r.contains_point(0.0, 0.0)
+        assert r.contains_point(1.0, 1.0)
+        assert not r.contains_point(1.1, 0.5)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 4, 4)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(3, 3, 5, 5))
+
+    def test_point_intersects_containing_rect(self):
+        assert Rect.point(0.5, 0.5).intersects(Rect(0, 0, 1, 1))
+
+
+class TestCombinators:
+    def test_intersection_basic(self):
+        inter = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert inter == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        inter = Rect(0, 0, 1, 1).intersection(Rect(1, 0, 2, 1))
+        assert inter is not None
+        assert inter.is_degenerate
+        assert inter.width == 0.0
+
+    def test_intersection_contained(self):
+        inner = Rect(1, 1, 2, 2)
+        assert Rect(0, 0, 4, 4).intersection(inner) == inner
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_union_contains_both(self):
+        a, b = Rect(0, 0, 1, 2), Rect(-1, 1, 0.5, 3)
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    def test_enlargement_zero_when_contained(self):
+        assert Rect(0, 0, 4, 4).enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_enlargement_positive_when_growing(self):
+        assert Rect(0, 0, 1, 1).enlargement(Rect(2, 0, 3, 1)) == pytest.approx(2.0)
+
+    def test_translate(self):
+        assert Rect(0, 0, 1, 1).translate(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_scale_uniform(self):
+        assert Rect(1, 1, 2, 2).scale(2) == Rect(2, 2, 4, 4)
+
+    def test_scale_anisotropic(self):
+        assert Rect(1, 1, 2, 2).scale(2, 3) == Rect(2, 3, 4, 6)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).scale(-1)
+
+    def test_buffer_grow(self):
+        assert Rect(0, 0, 1, 1).buffer(0.5) == Rect(-0.5, -0.5, 1.5, 1.5)
+
+    def test_buffer_shrink(self):
+        assert Rect(0, 0, 2, 2).buffer(-0.5) == Rect(0.5, 0.5, 1.5, 1.5)
+
+    def test_buffer_overshrink_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).buffer(-0.6)
+
+
+class TestProtocol:
+    def test_as_tuple_and_iter(self):
+        r = Rect(0, 1, 2, 3)
+        assert r.as_tuple() == (0, 1, 2, 3)
+        assert tuple(r) == (0, 1, 2, 3)
+
+    def test_equality_and_hash(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert hash(Rect(0, 0, 1, 1)) == hash(Rect(0, 0, 1, 1))
+        assert Rect(0, 0, 1, 1) != Rect(0, 0, 1, 2)

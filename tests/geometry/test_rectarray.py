@@ -1,0 +1,180 @@
+"""Unit tests for the vectorized RectArray container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectArray
+
+
+def make_simple() -> RectArray:
+    return RectArray.from_rects(
+        [Rect(0, 0, 1, 1), Rect(2, 2, 3, 4), Rect(0.5, 0.5, 0.5, 0.5)]
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        arr = RectArray.empty()
+        assert len(arr) == 0
+        assert list(arr) == []
+
+    def test_from_rects_roundtrip(self):
+        rects = [Rect(0, 0, 1, 1), Rect(2, 2, 3, 4)]
+        arr = RectArray.from_rects(rects)
+        assert list(arr) == rects
+
+    def test_from_rects_empty_iterable(self):
+        assert len(RectArray.from_rects([])) == 0
+
+    def test_from_coords(self):
+        arr = RectArray.from_coords([[0, 0, 1, 1], [1, 1, 2, 2]])
+        assert arr[1] == Rect(1, 1, 2, 2)
+
+    def test_from_coords_bad_shape(self):
+        with pytest.raises(ValueError):
+            RectArray.from_coords(np.zeros((3, 3)))
+
+    def test_from_coords_empty(self):
+        assert len(RectArray.from_coords(np.empty((0, 4)))) == 0
+
+    def test_from_centers(self):
+        arr = RectArray.from_centers(np.array([1.0]), np.array([2.0]), 0.5, 1.0)
+        assert arr[0] == Rect(0.75, 1.5, 1.25, 2.5)
+
+    def test_from_centers_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            RectArray.from_centers(np.array([0.0]), np.array([0.0]), -1.0, 1.0)
+
+    def test_from_points_zero_area(self):
+        arr = RectArray.from_points(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert np.all(arr.areas() == 0)
+        assert arr[0].is_point
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RectArray(np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2))
+
+    def test_invalid_rectangle_rejected_with_index(self):
+        with pytest.raises(ValueError, match="index 1"):
+            RectArray(
+                np.array([0.0, 5.0]),
+                np.array([0.0, 0.0]),
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            RectArray(
+                np.array([np.nan]), np.array([0.0]), np.array([1.0]), np.array([1.0])
+            )
+
+    def test_concatenate(self):
+        a = make_simple()
+        merged = RectArray.concatenate([a, a])
+        assert len(merged) == 2 * len(a)
+        assert merged[len(a)] == a[0]
+
+    def test_concatenate_empty_list(self):
+        assert len(RectArray.concatenate([])) == 0
+
+
+class TestContainerProtocol:
+    def test_int_index_returns_rect(self):
+        assert isinstance(make_simple()[0], Rect)
+
+    def test_negative_index(self):
+        arr = make_simple()
+        assert arr[-1] == arr[len(arr) - 1]
+
+    def test_slice_returns_rectarray(self):
+        sub = make_simple()[:2]
+        assert isinstance(sub, RectArray)
+        assert len(sub) == 2
+
+    def test_mask_index(self):
+        arr = make_simple()
+        mask = np.array([True, False, True])
+        assert len(arr[mask]) == 2
+
+    def test_fancy_index(self):
+        arr = make_simple()
+        sub = arr[np.array([2, 0])]
+        assert sub[0] == arr[2]
+        assert sub[1] == arr[0]
+
+    def test_equality(self):
+        assert make_simple() == make_simple()
+        assert make_simple() != make_simple()[:2]
+
+    def test_repr_contains_length(self):
+        assert "n=3" in repr(make_simple())
+
+
+class TestDerived:
+    def test_widths_heights_areas(self):
+        arr = make_simple()
+        assert np.allclose(arr.widths(), [1, 1, 0])
+        assert np.allclose(arr.heights(), [1, 2, 0])
+        assert np.allclose(arr.areas(), [1, 2, 0])
+
+    def test_centers(self):
+        cx, cy = make_simple().centers()
+        assert np.allclose(cx, [0.5, 2.5, 0.5])
+        assert np.allclose(cy, [0.5, 3.0, 0.5])
+
+    def test_total_area(self):
+        assert make_simple().total_area() == pytest.approx(3.0)
+
+    def test_bounds(self):
+        assert make_simple().bounds() == Rect(0, 0, 3, 4)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            RectArray.empty().bounds()
+
+    def test_as_coords_roundtrip(self):
+        arr = make_simple()
+        assert RectArray.from_coords(arr.as_coords()) == arr
+
+
+class TestVectorizedPredicates:
+    def test_intersects_rect_matches_scalar(self, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 100)
+        query = Rect(0.2, 0.3, 0.6, 0.7)
+        mask = arr.intersects_rect(query)
+        expected = np.array([r.intersects(query) for r in arr])
+        assert np.array_equal(mask, expected)
+
+    def test_contained_in_rect_matches_scalar(self, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 100)
+        query = Rect(0.2, 0.3, 0.6, 0.7)
+        mask = arr.contained_in_rect(query)
+        expected = np.array([query.contains_rect(r) for r in arr])
+        assert np.array_equal(mask, expected)
+
+    def test_clip_to(self):
+        arr = RectArray.from_rects([Rect(0, 0, 2, 2)])
+        clipped = arr.clip_to(Rect(1, 1, 3, 3))
+        assert clipped[0] == Rect(1, 1, 2, 2)
+
+    def test_clip_to_disjoint_raises(self):
+        arr = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        with pytest.raises(ValueError):
+            arr.clip_to(Rect(2, 2, 3, 3))
+
+    def test_translate(self):
+        moved = make_simple().translate(1, -1)
+        assert moved[0] == Rect(1, -1, 2, 0)
+
+    def test_scale(self):
+        scaled = make_simple().scale(2)
+        assert scaled[0] == Rect(0, 0, 2, 2)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_simple().scale(-1)

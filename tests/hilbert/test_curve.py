@@ -1,0 +1,152 @@
+"""Unit tests for the Hilbert curve implementation."""
+
+import numpy as np
+import pytest
+
+from repro.hilbert import (
+    DEFAULT_ORDER,
+    hilbert_index,
+    hilbert_index_vectorized,
+    hilbert_keys_for_points,
+    hilbert_point,
+    hilbert_sort_order,
+)
+
+
+class TestScalarCurve:
+    def test_order1_visits_all_four_cells(self):
+        values = {hilbert_index(1, x, y) for x in range(2) for y in range(2)}
+        assert values == {0, 1, 2, 3}
+
+    def test_order1_canonical_layout(self):
+        # The classic U-shape: (0,0)->0, (0,1)->1, (1,1)->2, (1,0)->3.
+        assert hilbert_index(1, 0, 0) == 0
+        assert hilbert_index(1, 0, 1) == 1
+        assert hilbert_index(1, 1, 1) == 2
+        assert hilbert_index(1, 1, 0) == 3
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_bijective(self, order):
+        side = 1 << order
+        seen = set()
+        for x in range(side):
+            for y in range(side):
+                seen.add(hilbert_index(order, x, y))
+        assert seen == set(range(side * side))
+
+    @pytest.mark.parametrize("order", [1, 3, 5])
+    def test_round_trip(self, order):
+        side = 1 << order
+        for d in range(side * side):
+            x, y = hilbert_point(order, d)
+            assert hilbert_index(order, x, y) == d
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_consecutive_cells_are_adjacent(self, order):
+        """The Hilbert curve moves one grid step at a time — the locality
+        property SS sampling and tree packing rely on."""
+        side = 1 << order
+        prev = hilbert_point(order, 0)
+        for d in range(1, side * side):
+            cur = hilbert_point(order, d)
+            assert abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) == 1
+            prev = cur
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index(2, 4, 0)
+        with pytest.raises(ValueError):
+            hilbert_index(2, 0, -1)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_point(2, 16)
+
+    @pytest.mark.parametrize("order", [0, 32, -3, 2.5])
+    def test_bad_order_rejected(self, order):
+        with pytest.raises(ValueError):
+            hilbert_index(order, 0, 0)
+
+
+class TestVectorizedCurve:
+    @pytest.mark.parametrize("order", [1, 2, 4, 8])
+    def test_matches_scalar(self, order, rng):
+        side = 1 << order
+        x = rng.integers(0, side, size=300)
+        y = rng.integers(0, side, size=300)
+        vec = hilbert_index_vectorized(order, x, y)
+        ref = np.array([hilbert_index(order, int(a), int(b)) for a, b in zip(x, y)])
+        assert np.array_equal(vec, ref.astype(np.uint64))
+
+    def test_large_order_no_overflow(self):
+        order = 31
+        side = 1 << order
+        keys = hilbert_index_vectorized(
+            order, np.array([side - 1]), np.array([side - 1])
+        )
+        assert 0 <= int(keys[0]) < side * side
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index_vectorized(2, np.array([4]), np.array([0]))
+
+    def test_empty_input(self):
+        out = hilbert_index_vectorized(4, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+
+class TestPointKeys:
+    def test_far_edge_lands_in_last_cell(self):
+        keys = hilbert_keys_for_points(
+            np.array([1.0]), np.array([1.0]), extent_min=(0, 0), extent_size=(1, 1), order=4
+        )
+        assert int(keys[0]) == hilbert_index(4, 15, 15)
+
+    def test_origin_in_first_cell(self):
+        keys = hilbert_keys_for_points(
+            np.array([0.0]), np.array([0.0]), extent_min=(0, 0), extent_size=(1, 1), order=4
+        )
+        assert int(keys[0]) == hilbert_index(4, 0, 0)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_keys_for_points(
+                np.array([0.0]), np.array([0.0]), extent_min=(0, 0), extent_size=(0, 1)
+            )
+
+    def test_default_order_used(self, rng):
+        x = rng.random(10)
+        y = rng.random(10)
+        a = hilbert_keys_for_points(x, y, extent_min=(0, 0), extent_size=(1, 1))
+        b = hilbert_keys_for_points(
+            x, y, extent_min=(0, 0), extent_size=(1, 1), order=DEFAULT_ORDER
+        )
+        assert np.array_equal(a, b)
+
+
+class TestSortOrder:
+    def test_is_permutation(self, rng):
+        x, y = rng.random(500), rng.random(500)
+        order = hilbert_sort_order(x, y, extent_min=(0, 0), extent_size=(1, 1))
+        assert sorted(order.tolist()) == list(range(500))
+
+    def test_sorted_keys_nondecreasing(self, rng):
+        x, y = rng.random(500), rng.random(500)
+        order = hilbert_sort_order(x, y, extent_min=(0, 0), extent_size=(1, 1))
+        keys = hilbert_keys_for_points(x, y, extent_min=(0, 0), extent_size=(1, 1))
+        assert np.all(np.diff(keys[order].astype(np.int64)) >= 0)
+
+    def test_locality_beats_random_order(self, rng):
+        """Hilbert ordering should place consecutive points much closer
+        together than a random ordering does (the property making SS and
+        Hilbert packing meaningful)."""
+        x, y = rng.random(2000), rng.random(2000)
+        order = hilbert_sort_order(x, y, extent_min=(0, 0), extent_size=(1, 1))
+
+        def mean_step(perm):
+            return float(
+                np.hypot(np.diff(x[perm]), np.diff(y[perm])).mean()
+            )
+
+        random_perm = rng.permutation(2000)
+        assert mean_step(order) < 0.25 * mean_step(random_perm)

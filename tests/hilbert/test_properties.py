@@ -1,0 +1,57 @@
+"""Property-based tests for the Hilbert curve."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hilbert import hilbert_index, hilbert_index_vectorized, hilbert_point
+
+orders = st.integers(min_value=1, max_value=10)
+
+
+@st.composite
+def order_and_cell(draw):
+    order = draw(orders)
+    side = 1 << order
+    x = draw(st.integers(min_value=0, max_value=side - 1))
+    y = draw(st.integers(min_value=0, max_value=side - 1))
+    return order, x, y
+
+
+@given(order_and_cell())
+def test_round_trip_property(case):
+    order, x, y = case
+    d = hilbert_index(order, x, y)
+    assert hilbert_point(order, d) == (x, y)
+
+
+@given(order_and_cell())
+def test_index_in_range(case):
+    order, x, y = case
+    d = hilbert_index(order, x, y)
+    assert 0 <= d < (1 << order) ** 2
+
+
+@given(order_and_cell())
+def test_vectorized_agrees_with_scalar(case):
+    order, x, y = case
+    vec = hilbert_index_vectorized(order, np.array([x]), np.array([y]))
+    assert int(vec[0]) == hilbert_index(order, x, y)
+
+
+@settings(max_examples=30)
+@given(orders, st.integers(min_value=0))
+def test_adjacent_indices_are_grid_neighbors(order, seed):
+    side = 1 << order
+    d = seed % (side * side - 1)
+    x1, y1 = hilbert_point(order, d)
+    x2, y2 = hilbert_point(order, d + 1)
+    assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+@given(orders)
+def test_curve_endpoints(order):
+    # The canonical curve starts at the origin corner...
+    assert hilbert_point(order, 0) == (0, 0)
+    # ...and ends at the (side-1, 0) corner.
+    side = 1 << order
+    assert hilbert_point(order, side * side - 1) == (side - 1, 0)

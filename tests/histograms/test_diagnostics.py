@@ -1,0 +1,93 @@
+"""Unit tests for the GH estimate diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_clustered, make_points_like, make_polygons_like
+from repro.geometry import Rect, RectArray
+from repro.histograms import GHHistogram, cell_contributions
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def pair_hists(rng):
+    a = SpatialDataset("a", random_rects(rng, 400))
+    b = SpatialDataset("b", random_rects(rng, 400))
+    return GHHistogram.build(a, 4), GHHistogram.build(b, 4)
+
+
+class TestDecompositionExactness:
+    def test_sums_to_estimate(self, pair_hists):
+        h1, h2 = pair_hists
+        contributions = cell_contributions(h1, h2)
+        assert contributions.total_points == pytest.approx(
+            h1.estimate_intersection_points(h2)
+        )
+
+    def test_per_cell_sums(self, pair_hists):
+        h1, h2 = pair_hists
+        c = cell_contributions(h1, h2)
+        assert np.allclose(c.per_cell_points, c.corner_term + c.crossing_term)
+
+    def test_matrix_shape_and_total(self, pair_hists):
+        h1, h2 = pair_hists
+        c = cell_contributions(h1, h2)
+        matrix = c.as_matrix()
+        assert matrix.shape == (16, 16)
+        assert matrix.sum() == pytest.approx(h1.estimate_pairs(h2))
+
+    def test_symmetry(self, pair_hists):
+        h1, h2 = pair_hists
+        forward = cell_contributions(h1, h2)
+        backward = cell_contributions(h2, h1)
+        assert np.allclose(forward.per_cell_points, backward.per_cell_points)
+
+    def test_grid_mismatch_rejected(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 10))
+        with pytest.raises(ValueError):
+            cell_contributions(GHHistogram.build(a, 2), GHHistogram.build(a, 3))
+
+
+class TestInterpretation:
+    def test_top_cells_point_at_the_hotspot(self):
+        a = make_clustered(2000, seed=120, center=(0.25, 0.75), spread=0.02)
+        b = make_clustered(2000, seed=121, center=(0.25, 0.75), spread=0.02)
+        h1 = GHHistogram.build(a, 4)
+        h2 = GHHistogram.build(b, 4)
+        top = cell_contributions(h1, h2).top_cells(3)
+        assert top  # something contributes
+        # Cell (4, 12) of a 16x16 grid covers (0.25, 0.75).
+        top_i, top_j, _ = top[0]
+        assert abs(top_i - 4) <= 1
+        assert abs(top_j - 12) <= 1
+
+    def test_corner_share_high_for_point_polygon(self):
+        p = make_points_like(2000, seed=122)
+        g = make_polygons_like(2000, seed=123)
+        h1 = GHHistogram.build(p, 5)
+        h2 = GHHistogram.build(g, 5)
+        share = cell_contributions(h1, h2).corner_share
+        assert share > 0.8  # points have no edges: corner-dominated
+
+    def test_corner_share_low_for_crossing_segments(self):
+        # Horizontal segments joined with vertical segments: only edge
+        # crossings can occur (zero-area MBRs have O = 0).
+        rng = np.random.default_rng(0)
+        y = rng.random(500)
+        x0 = rng.random(500) * 0.8
+        hseg = SpatialDataset("h", RectArray(x0, y, x0 + 0.2, y, validate=False))
+        x = rng.random(500)
+        y0 = rng.random(500) * 0.8
+        vseg = SpatialDataset("v", RectArray(x, y0, x, y0 + 0.2, validate=False))
+        h1 = GHHistogram.build(hseg, 4)
+        h2 = GHHistogram.build(vseg, 4)
+        share = cell_contributions(h1, h2).corner_share
+        assert share < 0.05
+
+    def test_empty_estimate_zero_share(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 5))
+        empty = SpatialDataset("e", RectArray.empty())
+        c = cell_contributions(GHHistogram.build(a, 2), GHHistogram.build(empty, 2))
+        assert c.total_points == 0
+        assert c.corner_share == 0.0
+        assert c.top_cells() == []

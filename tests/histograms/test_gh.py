@@ -1,0 +1,194 @@
+"""Unit tests for the revised Geometric Histogram (GH) scheme."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_clustered, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.histograms import GHHistogram, gh_selectivity, parametric_selectivity
+from repro.join import actual_selectivity
+from tests.conftest import random_rects
+
+
+class TestTable2Invariants:
+    """The four per-cell statistics have exact global invariants."""
+
+    def test_corner_sum_is_4n(self, rng):
+        rects = random_rects(rng, 500, max_side=0.2)
+        hist = GHHistogram.build(SpatialDataset("d", rects), 4)
+        assert hist.c.sum() == 4 * 500
+
+    def test_corner_sum_is_4n_for_points(self, rng):
+        points = RectArray.from_points(rng.random(200), rng.random(200))
+        hist = GHHistogram.build(SpatialDataset("p", points), 3)
+        assert hist.c.sum() == 4 * 200
+
+    def test_o_sum_recovers_total_area(self, rng):
+        rects = random_rects(rng, 400, max_side=0.3)
+        hist = GHHistogram.build(SpatialDataset("d", rects), 3)
+        assert hist.o.sum() * hist.grid.cell_area == pytest.approx(rects.total_area())
+
+    def test_h_sum_recovers_edge_lengths(self, rng):
+        """H sums (clipped length / cell width): globally that recovers
+        2 * total width / cell width (each MBR has two horizontal edges)."""
+        rects = random_rects(rng, 400, max_side=0.3)
+        hist = GHHistogram.build(SpatialDataset("d", rects), 3)
+        expected = 2 * rects.widths().sum() / hist.grid.cell_width
+        assert hist.h.sum() == pytest.approx(expected)
+
+    def test_v_sum_recovers_edge_lengths(self, rng):
+        rects = random_rects(rng, 400, max_side=0.3)
+        hist = GHHistogram.build(SpatialDataset("d", rects), 3)
+        expected = 2 * rects.heights().sum() / hist.grid.cell_height
+        assert hist.v.sum() == pytest.approx(expected)
+
+    def test_invariants_hold_at_every_level(self, rng):
+        rects = random_rects(rng, 200, max_side=0.4)
+        for level in range(6):
+            hist = GHHistogram.build(SpatialDataset("d", rects), level)
+            assert hist.c.sum() == 4 * 200
+            assert hist.o.sum() * hist.grid.cell_area == pytest.approx(
+                rects.total_area()
+            )
+
+    def test_point_dataset_has_zero_o_h_v(self, rng):
+        points = RectArray.from_points(rng.random(100), rng.random(100))
+        hist = GHHistogram.build(SpatialDataset("p", points), 3)
+        assert hist.o.sum() == 0
+        assert hist.h.sum() == 0
+        assert hist.v.sum() == 0
+
+    def test_cell_arrays_names(self, rng):
+        hist = GHHistogram.build(SpatialDataset("d", random_rects(rng, 10)), 1)
+        assert set(hist.cell_arrays()) == {"C", "O", "H", "V"}
+
+    def test_empty_dataset(self):
+        hist = GHHistogram.build(SpatialDataset("e", RectArray.empty()), 2)
+        assert hist.count == 0
+        assert hist.c.sum() == 0
+
+
+class TestSingleCellExactness:
+    """With everything in one cell, Equation 5 is the closed-form
+    expected value under uniformity — check it by hand (Figure 5)."""
+
+    def test_corner_term(self):
+        # Dataset 1: a point at cell center; dataset 2: a rect covering
+        # a quarter of the cell.  Expected intersection points:
+        # C1*O2 = 4 * 0.25 = 1; all other terms need edges (point has
+        # none) or corners of 2 inside 1 (zero-area).
+        p = SpatialDataset("p", RectArray.from_points(np.array([0.5]), np.array([0.5])))
+        r = SpatialDataset(
+            "r", RectArray.from_rects([Rect(0.0, 0.0, 0.5, 0.5)])
+        )
+        h1 = GHHistogram.build(p, 0)
+        h2 = GHHistogram.build(r, 0)
+        # IP = C1*O2 + C2*O1 + H1*V2 + H2*V1 = 4*0.25 + 4*0 + 0 + 0 = 1.
+        assert h1.estimate_intersection_points(h2) == pytest.approx(1.0)
+        # Pairs = 1/4; the true probability a random point hits a fixed
+        # quarter-area rect is exactly 0.25. Unbiased by construction.
+        assert h1.estimate_pairs(h2) == pytest.approx(0.25)
+
+    def test_edge_crossing_term(self):
+        # Horizontal segment (length 0.6) x vertical segment (length 0.4)
+        # in the unit cell: crossing probability = 0.6*0.4 = 0.24; each
+        # pair of crossing segments yields 2 crossings... but as MBRs,
+        # each degenerate segment has TWO coincident horizontal (resp.
+        # vertical) edges, so H1 = 2*0.6, V2 = 2*0.4.
+        hseg = SpatialDataset("h", RectArray.from_rects([Rect(0.2, 0.5, 0.8, 0.5)]))
+        vseg = SpatialDataset("v", RectArray.from_rects([Rect(0.5, 0.3, 0.5, 0.7)]))
+        h1 = GHHistogram.build(hseg, 0)
+        h2 = GHHistogram.build(vseg, 0)
+        assert h1.h.sum() == pytest.approx(1.2)
+        assert h2.v.sum() == pytest.approx(0.8)
+        # IP = H1*V2 + H2*V1 + corner terms (zero area => O = 0).
+        assert h1.estimate_intersection_points(h2) == pytest.approx(1.2 * 0.8)
+
+    def test_full_rects_match_equation1_degenerate_form(self):
+        # Two proper rects in one cell: Eq. 5's estimate equals the
+        # expected number of intersection points under uniformity, i.e.
+        # 4 * Eq. 1's pair probability (sanity link the paper draws).
+        a = SpatialDataset("a", RectArray.from_rects([Rect(0.1, 0.1, 0.4, 0.3)]))
+        b = SpatialDataset("b", RectArray.from_rects([Rect(0.5, 0.5, 0.7, 0.9)]))
+        h1 = GHHistogram.build(a, 0)
+        h2 = GHHistogram.build(b, 0)
+        pairs_gh = h1.estimate_pairs(h2)
+        pairs_eq1 = parametric_selectivity(a, b)  # N1=N2=1 so size==selectivity
+        assert pairs_gh == pytest.approx(pairs_eq1)
+
+
+class TestEstimationQuality:
+    def test_unbiased_on_uniform(self):
+        a = make_uniform(3000, seed=1, mean_width=0.01, mean_height=0.01)
+        b = make_uniform(3000, seed=2, mean_width=0.01, mean_height=0.01)
+        truth = actual_selectivity(a.rects, b.rects)
+        for level in (0, 3, 6):
+            assert gh_selectivity(a, b, level) == pytest.approx(truth, rel=0.15)
+
+    def test_error_shrinks_with_level_on_clustered(self):
+        a = make_clustered(4000, seed=1, spread=0.05)
+        b = make_clustered(4000, seed=2, spread=0.05)
+        truth = actual_selectivity(a.rects, b.rects)
+        errors = [
+            abs(gh_selectivity(a, b, level) - truth) / truth for level in (0, 3, 6)
+        ]
+        assert errors[2] < errors[0] / 3
+        assert errors[2] < 0.1
+
+    def test_beats_parametric_on_skew(self):
+        a = make_clustered(4000, seed=1, spread=0.04)
+        b = make_clustered(4000, seed=2, spread=0.04)
+        truth = actual_selectivity(a.rects, b.rects)
+        gh_err = abs(gh_selectivity(a, b, 6) - truth)
+        par_err = abs(parametric_selectivity(a, b) - truth)
+        assert gh_err < par_err / 5
+
+    def test_symmetry(self):
+        a = make_uniform(500, seed=3)
+        b = make_clustered(500, seed=4)
+        assert gh_selectivity(a, b, 4) == pytest.approx(gh_selectivity(b, a, 4))
+
+    def test_point_polygon_join(self):
+        """The Sequoia case: zero-area points joined with polygons."""
+        from repro.datasets import make_points_like, make_polygons_like
+
+        p = make_points_like(3000, seed=1)
+        g = make_polygons_like(3000, seed=2)
+        truth = actual_selectivity(p.rects, g.rects)
+        est = gh_selectivity(p, g, 6)
+        assert est == pytest.approx(truth, rel=0.2)
+
+
+class TestValidation:
+    def test_grid_mismatch_rejected(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 10))
+        h1 = GHHistogram.build(a, 2)
+        h2 = GHHistogram.build(a, 3)
+        with pytest.raises(ValueError, match="same grid"):
+            h1.estimate_intersection_points(h2)
+
+    def test_empty_estimates_zero(self, rng):
+        full = GHHistogram.build(SpatialDataset("a", random_rects(rng, 10)), 2)
+        empty = GHHistogram.build(SpatialDataset("e", RectArray.empty()), 2)
+        assert full.estimate_selectivity(empty) == 0.0
+
+    def test_extent_mismatch_in_helper(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 10), Rect.unit())
+        b = SpatialDataset("b", random_rects(rng, 10), Rect(0, 0, 2, 2))
+        with pytest.raises(ValueError):
+            gh_selectivity(a, b, 2)
+
+
+class TestSizeAccounting:
+    def test_half_of_ph(self, rng):
+        from repro.histograms import PHHistogram
+
+        ds = SpatialDataset("d", random_rects(rng, 100))
+        gh = GHHistogram.build(ds, 4)
+        ph = PHHistogram.build(ds, 4)
+        assert gh.size_bytes * 2 <= ph.size_bytes
+
+    def test_size_depends_only_on_level(self, rng):
+        a = GHHistogram.build(SpatialDataset("a", random_rects(rng, 10)), 5)
+        b = GHHistogram.build(SpatialDataset("b", random_rects(rng, 5000)), 5)
+        assert a.size_bytes == b.size_bytes

@@ -1,0 +1,144 @@
+"""Unit tests for the basic GH scheme, including the paper's worked
+examples (Figure 3) and failure cases (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_clustered
+from repro.geometry import Rect, RectArray
+from repro.histograms import BasicGHHistogram, gh_basic_selectivity
+from repro.join import actual_selectivity
+from tests.conftest import random_rects
+
+
+def single(name: str, rect: Rect) -> SpatialDataset:
+    return SpatialDataset(name, RectArray.from_rects([rect]))
+
+
+class TestPaperFigure3Example:
+    """Figure 3: two MBRs whose four intersection points fall in four
+    different grid cells; Equation 4 counts exactly 4 points => 1 pair.
+
+    Geometry (4x4 grid on the unit square, central cells (1..2, 1..2)):
+    ``a`` has its lower-left corner in cell (1,1) and extends beyond the
+    central block; ``b`` has its upper-right corner in cell (2,2).
+    """
+
+    A = Rect(0.3, 0.35, 0.9, 0.9)
+    B = Rect(0.1, 0.1, 0.65, 0.7)
+
+    @pytest.fixture
+    def histograms(self):
+        ha = BasicGHHistogram.build(single("a", self.A), 2)
+        hb = BasicGHHistogram.build(single("b", self.B), 2)
+        return ha, hb
+
+    def test_four_intersection_points(self, histograms):
+        ha, hb = histograms
+        assert ha.estimate_intersection_points(hb) == pytest.approx(4.0)
+
+    def test_selectivity_is_one(self, histograms):
+        ha, hb = histograms
+        assert ha.estimate_selectivity(hb) == pytest.approx(1.0)
+
+    def test_cell_contents_match_figure(self, histograms):
+        ha, hb = histograms
+        side = ha.grid.side
+
+        def cell(hist, i, j):
+            f = j * side + i
+            return (hist.c[f], hist.i[f], hist.h[f], hist.v[f])
+
+        # a's lower-left corner cell: one corner, intersecting, one
+        # horizontal and one vertical edge passing (C=1, I=1, H=1, V=1).
+        assert cell(ha, 1, 1) == (1, 1, 1, 1)
+        # b's upper-right corner cell symmetrically.
+        assert cell(hb, 2, 2) == (1, 1, 1, 1)
+        # Interior-crossing cells: a passes through with no corner/edge
+        # except the continuing edge runs.
+        assert cell(ha, 2, 1) == (0, 1, 1, 0)
+        assert cell(hb, 1, 2) == (0, 1, 1, 0)
+
+
+class TestPaperFigure4Inaccuracies:
+    """Figure 4: at coarse grids basic GH both false-counts (disjoint
+    MBRs in one cell) and multiple-counts (overlapping statistics in
+    every shared cell); finer gridding removes the error."""
+
+    def test_false_counting_disjoint_mbrs_same_cell(self):
+        a = single("a", Rect(0.05, 0.05, 0.15, 0.15))
+        b = single("b", Rect(0.30, 0.30, 0.40, 0.40))
+        # Level 1: both MBRs in cell (0, 0); Eq. 4 fabricates 16 points.
+        ha = BasicGHHistogram.build(a, 1)
+        hb = BasicGHHistogram.build(b, 1)
+        assert ha.estimate_intersection_points(hb) == pytest.approx(16.0)
+        # Level 3: the MBRs fall in disjoint cells; the error vanishes.
+        ha = BasicGHHistogram.build(a, 3)
+        hb = BasicGHHistogram.build(b, 3)
+        assert ha.estimate_intersection_points(hb) == pytest.approx(0.0)
+
+    def test_multiple_counting_overlapping_mbrs(self):
+        # Corner-overlap pair straddling the 2x2 center: every one of the
+        # four cells sees corners/edges/incidences of both MBRs and
+        # contributes 4, i.e. 16 points instead of 4.
+        a = single("a", Rect(0.2, 0.2, 0.6, 0.6))
+        b = single("b", Rect(0.4, 0.4, 0.8, 0.8))
+        ha = BasicGHHistogram.build(a, 1)
+        hb = BasicGHHistogram.build(b, 1)
+        assert ha.estimate_intersection_points(hb) == pytest.approx(16.0)
+
+    def test_errors_diminish_with_level(self):
+        """Figure 4's bottom line: a fine enough grid separates the
+        statistics and the Equation 4 estimate approaches the truth."""
+        a = make_clustered(800, seed=1, spread=0.15)
+        b = make_clustered(800, seed=2, spread=0.15)
+        truth = actual_selectivity(a.rects, b.rects)
+        errors = []
+        for level in (1, 4, 7):
+            est = gh_basic_selectivity(a, b, level)
+            errors.append(abs(est - truth) / truth)
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_always_overestimates(self, rng):
+        """Basic GH's failure modes (false + multiple counting) both
+        inflate the count, so the estimate upper-bounds the truth."""
+        a = SpatialDataset("a", random_rects(rng, 300))
+        b = SpatialDataset("b", random_rects(rng, 300))
+        truth = actual_selectivity(a.rects, b.rects)
+        for level in (0, 2, 4):
+            assert gh_basic_selectivity(a, b, level) >= truth * 0.999
+
+
+class TestCountInvariants:
+    def test_corner_sum(self, rng):
+        rects = random_rects(rng, 200)
+        hist = BasicGHHistogram.build(SpatialDataset("d", rects), 3)
+        assert hist.c.sum() == 4 * 200
+
+    def test_incidence_sum_equals_total_span(self, rng):
+        rects = random_rects(rng, 200, max_side=0.3)
+        hist = BasicGHHistogram.build(SpatialDataset("d", rects), 3)
+        assert hist.i.sum() == hist.grid.span_counts(rects).sum()
+
+    def test_edge_counts(self, rng):
+        rects = random_rects(rng, 200, max_side=0.3)
+        hist = BasicGHHistogram.build(SpatialDataset("d", rects), 3)
+        grid = hist.grid
+        i0, i1 = grid.column_of(rects.xmin), grid.column_of(rects.xmax)
+        expected_h = 2 * (i1 - i0 + 1).sum()  # two horizontal edges each
+        assert hist.h.sum() == expected_h
+
+    def test_empty(self):
+        hist = BasicGHHistogram.build(SpatialDataset("e", RectArray.empty()), 2)
+        assert hist.c.sum() == hist.i.sum() == hist.h.sum() == hist.v.sum() == 0
+
+    def test_grid_mismatch_rejected(self, rng):
+        ds = SpatialDataset("d", random_rects(rng, 10))
+        with pytest.raises(ValueError):
+            BasicGHHistogram.build(ds, 1).estimate_intersection_points(
+                BasicGHHistogram.build(ds, 2)
+            )
+
+    def test_size_bytes(self, rng):
+        hist = BasicGHHistogram.build(SpatialDataset("d", random_rects(rng, 10)), 3)
+        assert hist.size_bytes == 8 * 4 * 64

@@ -1,0 +1,133 @@
+"""Unit tests for incremental histogram maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.histograms import (
+    BasicGHHistogram,
+    GHHistogram,
+    PHHistogram,
+    apply_updates,
+    merge_histograms,
+)
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def full_ds(rng):
+    return SpatialDataset("full", random_rects(rng, 600), Rect.unit())
+
+
+def split(ds, k):
+    first = SpatialDataset("a", ds.rects[np.arange(k)], ds.extent)
+    second = SpatialDataset("b", ds.rects[np.arange(k, len(ds))], ds.extent)
+    return first, second
+
+
+ADDITIVE = [GHHistogram, BasicGHHistogram]
+
+
+@pytest.mark.parametrize("hist_cls", ADDITIVE)
+class TestApplyUpdates:
+    def test_insert_equals_rebuild(self, full_ds, hist_cls):
+        part, rest = split(full_ds, 200)
+        incremental = apply_updates(hist_cls.build(part, 4), added=rest.rects)
+        rebuilt = hist_cls.build(full_ds, 4)
+        assert incremental.count == rebuilt.count
+        for name in ("c", "h", "v"):
+            assert np.allclose(getattr(incremental, name), getattr(rebuilt, name))
+
+    def test_remove_round_trip(self, full_ds, hist_cls):
+        part, rest = split(full_ds, 200)
+        full_hist = hist_cls.build(full_ds, 4)
+        shrunk = apply_updates(full_hist, removed=rest.rects)
+        expected = hist_cls.build(part, 4)
+        assert shrunk.count == expected.count
+        for name in ("c", "h", "v"):
+            assert np.allclose(getattr(shrunk, name), getattr(expected, name))
+
+    def test_add_and_remove_together(self, full_ds, hist_cls):
+        part, rest = split(full_ds, 300)
+        hist = hist_cls.build(part, 3)
+        swapped = apply_updates(hist, added=rest.rects, removed=part.rects)
+        expected = hist_cls.build(
+            SpatialDataset("r", rest.rects, full_ds.extent), 3
+        )
+        assert swapped.count == expected.count
+        assert np.allclose(swapped.c, expected.c)
+
+    def test_noop_update(self, full_ds, hist_cls):
+        hist = hist_cls.build(full_ds, 3)
+        same = apply_updates(hist)
+        assert same.count == hist.count
+        assert np.array_equal(same.c, hist.c)
+
+    def test_estimates_track_updates(self, full_ds, hist_cls):
+        """The estimate against a fixed partner changes consistently."""
+        part, rest = split(full_ds, 300)
+        partner = hist_cls.build(full_ds, 3)
+        grown = apply_updates(hist_cls.build(part, 3), added=rest.rects)
+        direct = hist_cls.build(full_ds, 3)
+        assert grown.estimate_selectivity(partner) == pytest.approx(
+            direct.estimate_selectivity(partner)
+        )
+
+    def test_over_removal_rejected(self, full_ds, hist_cls):
+        part, rest = split(full_ds, 100)
+        hist = hist_cls.build(part, 3)
+        with pytest.raises(ValueError, match="more rectangles removed"):
+            apply_updates(hist, removed=full_ds.rects)
+
+    def test_original_not_mutated(self, full_ds, hist_cls):
+        hist = hist_cls.build(full_ds, 3)
+        snapshot = hist.c.copy()
+        apply_updates(hist, added=full_ds.rects[:10])
+        assert np.array_equal(hist.c, snapshot)
+
+
+@pytest.mark.parametrize("hist_cls", ADDITIVE)
+class TestMerge:
+    def test_merge_equals_union_build(self, full_ds, hist_cls):
+        part, rest = split(full_ds, 250)
+        merged = merge_histograms(hist_cls.build(part, 4), hist_cls.build(rest, 4))
+        direct = hist_cls.build(full_ds, 4)
+        assert merged.count == direct.count
+        for name in ("c", "h", "v"):
+            assert np.allclose(getattr(merged, name), getattr(direct, name))
+
+    def test_sharded_parallel_build(self, full_ds, hist_cls):
+        """Merge a 4-way shard split — the parallel-build use case."""
+        shards = [
+            SpatialDataset(f"s{i}", full_ds.rects[np.arange(i, len(full_ds), 4)],
+                           full_ds.extent)
+            for i in range(4)
+        ]
+        merged = hist_cls.build(shards[0], 3)
+        for shard in shards[1:]:
+            merged = merge_histograms(merged, hist_cls.build(shard, 3))
+        direct = hist_cls.build(full_ds, 3)
+        assert np.allclose(merged.c, direct.c)
+
+    def test_grid_mismatch_rejected(self, full_ds, hist_cls):
+        with pytest.raises(ValueError, match="different grids"):
+            merge_histograms(hist_cls.build(full_ds, 3), hist_cls.build(full_ds, 4))
+
+
+class TestUnsupportedSchemes:
+    def test_ph_updates_rejected(self, full_ds):
+        hist = PHHistogram.build(full_ds, 3)
+        with pytest.raises(TypeError, match="incremental maintenance"):
+            apply_updates(hist, added=full_ds.rects[:5])
+
+    def test_ph_merge_rejected(self, full_ds):
+        hist = PHHistogram.build(full_ds, 3)
+        with pytest.raises(TypeError):
+            merge_histograms(hist, hist)
+
+    def test_mixed_scheme_merge_rejected(self, full_ds):
+        gh = GHHistogram.build(full_ds, 3)
+        basic = BasicGHHistogram.build(full_ds, 3)
+        with pytest.raises(TypeError, match="different schemes"):
+            merge_histograms(gh, basic)

@@ -1,0 +1,84 @@
+"""Property-based tests for incremental maintenance: any interleaving of
+inserts and deletes produces the same histogram as a from-scratch build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import SpatialDataset
+from repro.geometry import Rect, RectArray
+from repro.histograms import BasicGHHistogram, GHHistogram, apply_updates, merge_histograms
+
+coords = st.floats(min_value=0, max_value=1, allow_nan=False)
+
+
+@st.composite
+def rect_batches(draw, max_batches=4, max_batch=12):
+    """A starting set plus a sequence of (add_batch, remove_count) ops."""
+    def batch(n):
+        return [
+            Rect.from_points(draw(coords), draw(coords), draw(coords), draw(coords))
+            for _ in range(n)
+        ]
+
+    start = batch(draw(st.integers(min_value=0, max_value=max_batch)))
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_batches))):
+        ops.append(
+            (
+                batch(draw(st.integers(min_value=0, max_value=max_batch))),
+                draw(st.integers(min_value=0, max_value=max_batch)),
+            )
+        )
+    return start, ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(rect_batches(), st.integers(min_value=0, max_value=3),
+       st.sampled_from([GHHistogram, BasicGHHistogram]))
+def test_interleaved_updates_match_rebuild(case, level, hist_cls):
+    start, ops = case
+    live = list(start)
+    hist = hist_cls.build(
+        SpatialDataset("d", RectArray.from_rects(live), Rect.unit()), level
+    )
+    rng = np.random.default_rng(0)
+    for added, remove_count in ops:
+        remove_count = min(remove_count, len(live))
+        removed_idx = sorted(
+            rng.choice(len(live), size=remove_count, replace=False).tolist(),
+            reverse=True,
+        ) if remove_count else []
+        removed = [live[i] for i in removed_idx]
+        for i in removed_idx:
+            live.pop(i)
+        live.extend(added)
+        hist = apply_updates(
+            hist,
+            added=RectArray.from_rects(added),
+            removed=RectArray.from_rects(removed),
+        )
+    rebuilt = hist_cls.build(
+        SpatialDataset("d", RectArray.from_rects(live), Rect.unit()), level
+    )
+    assert hist.count == rebuilt.count == len(live)
+    for name in ("c", "h", "v"):
+        assert np.allclose(getattr(hist, name), getattr(rebuilt, name), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rect_batches(max_batches=1), st.integers(min_value=0, max_value=3))
+def test_merge_commutative(case, level):
+    start, ops = case
+    other = ops[0][0]
+    a = GHHistogram.build(
+        SpatialDataset("a", RectArray.from_rects(start), Rect.unit()), level
+    )
+    b = GHHistogram.build(
+        SpatialDataset("b", RectArray.from_rects(other), Rect.unit()), level
+    )
+    ab = merge_histograms(a, b)
+    ba = merge_histograms(b, a)
+    assert ab.count == ba.count
+    assert np.allclose(ab.c, ba.c)
+    assert np.allclose(ab.o, ba.o)

@@ -1,0 +1,93 @@
+"""Unit tests for the Aref–Samet parametric baseline (Equations 1–2)."""
+
+import pytest
+
+from repro.datasets import DatasetSummary, SpatialDataset, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.histograms import (
+    aref_samet_selectivity,
+    aref_samet_size,
+    parametric_selectivity,
+)
+from repro.join import actual_selectivity
+
+
+def summary(n, cov, w, h, area=1.0) -> DatasetSummary:
+    return DatasetSummary(count=n, coverage=cov, avg_width=w, avg_height=h, extent_area=area)
+
+
+class TestEquationOne:
+    def test_formula_verbatim(self):
+        s1 = summary(10, 0.2, 0.1, 0.05)
+        s2 = summary(20, 0.3, 0.02, 0.04)
+        expected = 10 * 0.3 + 0.2 * 20 + 10 * 20 * (0.1 * 0.04 + 0.02 * 0.05) / 1.0
+        assert aref_samet_size(s1, s2) == pytest.approx(expected)
+
+    def test_symmetric(self):
+        s1 = summary(10, 0.2, 0.1, 0.05)
+        s2 = summary(20, 0.3, 0.02, 0.04)
+        assert aref_samet_size(s1, s2) == pytest.approx(aref_samet_size(s2, s1))
+
+    def test_point_datasets_zero_size(self):
+        """Two point datasets: all terms vanish (points never intersect
+        with probability > 0 under the continuous model)."""
+        s1 = summary(100, 0.0, 0.0, 0.0)
+        s2 = summary(100, 0.0, 0.0, 0.0)
+        assert aref_samet_size(s1, s2) == 0.0
+
+    def test_extent_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="common extent"):
+            aref_samet_size(summary(1, 0, 0, 0, area=1.0), summary(1, 0, 0, 0, area=2.0))
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            aref_samet_size(summary(1, 0, 0, 0, area=0.0), summary(1, 0, 0, 0, area=0.0))
+
+
+class TestSelectivity:
+    def test_normalization(self):
+        s1 = summary(10, 0.2, 0.1, 0.05)
+        s2 = summary(20, 0.3, 0.02, 0.04)
+        assert aref_samet_selectivity(s1, s2) == pytest.approx(
+            aref_samet_size(s1, s2) / 200
+        )
+
+    def test_empty_dataset_zero(self):
+        assert aref_samet_selectivity(summary(0, 0, 0, 0), summary(5, 0.1, 0.1, 0.1)) == 0.0
+
+    def test_exact_for_known_pair(self):
+        """One unit-square rect vs one unit-square rect: estimate is
+        N1*C2 + C1*N2 + cross = 1 + 1 + 2 = 4 intersections (the formula
+        overcounts at the boundary, as expected for coverage ~1), i.e.
+        the formula is evaluated, not clamped."""
+        big = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        ds1 = SpatialDataset("a", big)
+        ds2 = SpatialDataset("b", big)
+        assert parametric_selectivity(ds1, ds2) == pytest.approx(4.0)
+
+
+class TestAccuracyOnUniformData:
+    def test_close_to_truth_on_uniform(self):
+        """The paper's premise: the parametric model is good exactly when
+        its uniformity assumption holds."""
+        a = make_uniform(4000, seed=1, mean_width=0.01, mean_height=0.01)
+        b = make_uniform(4000, seed=2, mean_width=0.01, mean_height=0.01)
+        est = parametric_selectivity(a, b)
+        truth = actual_selectivity(a.rects, b.rects)
+        assert est == pytest.approx(truth, rel=0.1)
+
+    def test_poor_on_clustered(self):
+        """...and bad when the data is skewed (motivates PH/GH)."""
+        from repro.datasets import make_clustered
+
+        a = make_clustered(4000, seed=1, spread=0.03)
+        b = make_clustered(4000, seed=2, spread=0.03)
+        est = parametric_selectivity(a, b)
+        truth = actual_selectivity(a.rects, b.rects)
+        assert abs(est - truth) / truth > 0.5  # >50% off
+
+    def test_dataset_extent_mismatch(self):
+        a = SpatialDataset("a", RectArray.from_rects([Rect(0, 0, 1, 1)]), Rect(0, 0, 2, 2))
+        b = SpatialDataset("b", RectArray.from_rects([Rect(0, 0, 1, 1)]), Rect.unit())
+        with pytest.raises(ValueError):
+            parametric_selectivity(a, b)

@@ -1,0 +1,139 @@
+"""Unit tests for range-query estimation from the histogram files."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_clustered, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.histograms import (
+    GHHistogram,
+    PHHistogram,
+    range_count_gh,
+    range_count_parametric,
+    range_count_ph,
+)
+
+
+@pytest.fixture(scope="module")
+def uniform_ds():
+    return make_uniform(8000, seed=50, mean_width=0.01, mean_height=0.01)
+
+
+@pytest.fixture(scope="module")
+def clustered_ds():
+    return make_clustered(8000, seed=51, spread=0.08)
+
+
+def true_count(ds, query: Rect) -> int:
+    return int(ds.rects.intersects_rect(query).sum())
+
+
+QUERIES = [
+    Rect(0.1, 0.1, 0.4, 0.3),
+    Rect(0.35, 0.55, 0.75, 0.95),
+    Rect(0.0, 0.0, 1.0, 1.0),
+    Rect(0.48, 0.48, 0.52, 0.52),
+]
+
+
+class TestGHRangeCount:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_accurate_on_uniform(self, uniform_ds, query):
+        hist = GHHistogram.build(uniform_ds, 6)
+        estimate = range_count_gh(hist, query)
+        truth = true_count(uniform_ds, query)
+        assert estimate == pytest.approx(truth, rel=0.15, abs=5)
+
+    def test_accurate_on_clustered(self, clustered_ds):
+        hist = GHHistogram.build(clustered_ds, 6)
+        query = Rect(0.3, 0.6, 0.5, 0.8)  # inside the cluster
+        estimate = range_count_gh(hist, query)
+        truth = true_count(clustered_ds, query)
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_empty_region_near_zero(self, clustered_ds):
+        hist = GHHistogram.build(clustered_ds, 6)
+        # Far corner away from the (0.4, 0.7) cluster.
+        estimate = range_count_gh(hist, Rect(0.9, 0.02, 0.98, 0.1))
+        assert estimate < 0.05 * len(clustered_ds)
+
+    def test_whole_extent_counts_everything(self, uniform_ds):
+        hist = GHHistogram.build(uniform_ds, 5)
+        estimate = range_count_gh(hist, Rect.unit())
+        assert estimate == pytest.approx(len(uniform_ds), rel=0.05)
+
+    def test_point_query(self, uniform_ds):
+        hist = GHHistogram.build(uniform_ds, 6)
+        estimate = range_count_gh(hist, Rect.point(0.5, 0.5))
+        truth = true_count(uniform_ds, Rect.point(0.5, 0.5))
+        # Expected stabbing count: small but positive.
+        assert 0 <= estimate < 50
+        assert abs(estimate - truth) < 20
+
+    def test_matches_join_with_singleton(self, uniform_ds):
+        """Range estimation is the singleton-join specialization: the
+        sparse path must agree with building a full histogram for {q}."""
+        query = Rect(0.2, 0.3, 0.55, 0.7)
+        hist = GHHistogram.build(uniform_ds, 5)
+        singleton = SpatialDataset(
+            "q", RectArray.from_rects([query]), uniform_ds.extent
+        )
+        q_hist = GHHistogram.build(singleton, 5)
+        dense = hist.estimate_pairs(q_hist)
+        sparse = range_count_gh(hist, query)
+        assert sparse == pytest.approx(dense, rel=1e-9)
+
+
+class TestPHRangeCount:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_reasonable_on_uniform(self, uniform_ds, query):
+        hist = PHHistogram.build(uniform_ds, 6)
+        estimate = range_count_ph(hist, query)
+        truth = true_count(uniform_ds, query)
+        assert estimate == pytest.approx(truth, rel=0.25, abs=10)
+
+    def test_beats_parametric_on_clustered(self, clustered_ds):
+        hist = PHHistogram.build(clustered_ds, 6)
+        summary = clustered_ds.summary()
+        query = Rect(0.85, 0.05, 0.95, 0.15)  # empty corner
+        truth = true_count(clustered_ds, query)
+        ph_err = abs(range_count_ph(hist, query) - truth)
+        par_err = abs(range_count_parametric(summary, query) - truth)
+        assert ph_err < par_err
+
+    def test_full_extent(self, uniform_ds):
+        hist = PHHistogram.build(uniform_ds, 5)
+        estimate = range_count_ph(hist, Rect.unit())
+        assert estimate == pytest.approx(len(uniform_ds), rel=0.1)
+
+
+class TestParametricRangeCount:
+    def test_minkowski_formula(self):
+        from repro.datasets import DatasetSummary
+
+        summary = DatasetSummary(
+            count=100, coverage=0.1, avg_width=0.1, avg_height=0.2, extent_area=1.0
+        )
+        query = Rect(0, 0, 0.3, 0.4)
+        expected = 100 * (0.1 + 0.3) * (0.2 + 0.4) / 1.0
+        assert range_count_parametric(summary, query) == pytest.approx(expected)
+
+    def test_zero_area_extent_rejected(self):
+        from repro.datasets import DatasetSummary
+
+        bad = DatasetSummary(1, 0, 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            range_count_parametric(bad, Rect.unit())
+
+    def test_good_on_uniform_bad_on_clustered(self, uniform_ds, clustered_ds):
+        query = Rect(0.05, 0.05, 0.25, 0.25)
+        uni_err = abs(
+            range_count_parametric(uniform_ds.summary(), query)
+            - true_count(uniform_ds, query)
+        ) / max(true_count(uniform_ds, query), 1)
+        clu_err = abs(
+            range_count_parametric(clustered_ds.summary(), query)
+            - true_count(clustered_ds, query)
+        ) / max(true_count(clustered_ds, query), 1)
+        assert uni_err < 0.2
+        assert clu_err > 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for the unified join API."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectArray
+from repro.join import actual_selectivity, join_count, join_pairs, nested_loop_count
+from tests.conftest import random_rects
+
+
+class TestJoinCount:
+    @pytest.mark.parametrize("method", ["auto", "nested", "sweep", "partition", "rtree"])
+    def test_all_methods_agree(self, two_rect_sets, method):
+        a, b = two_rect_sets
+        assert join_count(a, b, method=method) == nested_loop_count(a, b)
+
+    def test_unknown_method(self, two_rect_sets):
+        a, b = two_rect_sets
+        with pytest.raises(ValueError):
+            join_count(a, b, method="quantum")  # type: ignore[arg-type]
+
+    def test_auto_small_input(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        assert join_count(a, a) == 1
+
+
+class TestJoinPairs:
+    @pytest.mark.parametrize("method", ["nested", "sweep", "partition", "rtree"])
+    def test_pairs_sorted_and_equal(self, two_rect_sets, method):
+        a, b = two_rect_sets
+        pairs = join_pairs(a, b, method=method)
+        reference = join_pairs(a, b, method="nested")
+        assert np.array_equal(pairs, reference)
+        # Lexicographic sorting.
+        keys = pairs[:, 0] * (len(b) + 1) + pairs[:, 1]
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestActualSelectivity:
+    def test_definition(self, two_rect_sets):
+        a, b = two_rect_sets
+        sel = actual_selectivity(a, b)
+        assert sel == nested_loop_count(a, b) / (len(a) * len(b))
+
+    def test_empty_inputs_zero(self):
+        assert actual_selectivity(RectArray.empty(), RectArray.empty()) == 0.0
+
+    def test_bounds(self, rng):
+        a = random_rects(rng, 100)
+        sel = actual_selectivity(a, a)
+        assert 0.0 <= sel <= 1.0
+
+    def test_full_overlap_is_one(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)] * 5)
+        assert actual_selectivity(a, a) == 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for the blocked nested-loop oracle itself."""
+
+import numpy as np
+
+from repro.geometry import Rect, RectArray, pairwise_intersection_mask
+from repro.join import nested_loop_count, nested_loop_pairs
+from tests.conftest import random_rects
+
+
+class TestBlocking:
+    def test_block_boundaries_do_not_change_result(self, two_rect_sets):
+        a, b = two_rect_sets
+        reference = nested_loop_count(a, b, block=10_000)
+        for block in (1, 7, 64, 299, 301):
+            assert nested_loop_count(a, b, block=block) == reference
+
+    def test_pairs_block_boundaries(self, rng):
+        a = random_rects(rng, 150)
+        b = random_rects(rng, 130)
+        reference = nested_loop_pairs(a, b, block=10_000)
+        for block in (1, 64, 129):
+            assert np.array_equal(nested_loop_pairs(a, b, block=block), reference)
+
+
+class TestAgainstDenseMask:
+    def test_count_equals_mask_sum(self, rng):
+        a = random_rects(rng, 80)
+        b = random_rects(rng, 90)
+        assert nested_loop_count(a, b) == int(pairwise_intersection_mask(a, b).sum())
+
+    def test_pairs_equal_mask_nonzeros(self, rng):
+        a = random_rects(rng, 60)
+        b = random_rects(rng, 60)
+        mask = pairwise_intersection_mask(a, b)
+        ia, ib = np.nonzero(mask)
+        expected = np.stack([ia, ib], axis=1)
+        assert np.array_equal(nested_loop_pairs(a, b), expected)
+
+
+class TestTrivial:
+    def test_empty(self):
+        assert nested_loop_count(RectArray.empty(), RectArray.empty()) == 0
+        assert nested_loop_pairs(RectArray.empty(), RectArray.empty()).shape == (0, 2)
+
+    def test_one_each_disjoint(self):
+        a = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        b = RectArray.from_rects([Rect(2, 2, 3, 3)])
+        assert nested_loop_count(a, b) == 0
+
+    def test_asymmetric_definition(self):
+        # count(a, b) with |a| x |b| pairs; count is symmetric in value.
+        a = RectArray.from_rects([Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)])
+        b = RectArray.from_rects([Rect(0.5, 0.5, 2, 2)])
+        assert nested_loop_count(a, b) == nested_loop_count(b, a) == 2

@@ -1,0 +1,79 @@
+"""Unit tests specific to the PBSM partition join."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectArray
+from repro.join import (
+    choose_grid_size,
+    nested_loop_count,
+    partition_join_count,
+    partition_join_pairs,
+)
+from tests.conftest import random_rects
+
+
+class TestChooseGridSize:
+    def test_zero_items(self):
+        assert choose_grid_size(0) == 1
+
+    def test_monotone_in_n(self):
+        sizes = [choose_grid_size(n) for n in (10, 1000, 100_000, 10_000_000)]
+        assert sizes == sorted(sizes)
+
+    def test_capped(self):
+        assert choose_grid_size(10**12) == 512
+
+    def test_target_per_cell(self):
+        g = choose_grid_size(48_000, target_per_cell=48)
+        assert g**2 * 48 >= 48_000 * 0.5
+
+
+class TestReferencePointDedup:
+    @pytest.mark.parametrize("grid", [1, 2, 3, 7, 16, 64])
+    def test_count_independent_of_grid(self, two_rect_sets, grid):
+        """The reference-point method must cancel replication exactly at
+        every grid resolution."""
+        a, b = two_rect_sets
+        expected = nested_loop_count(a, b)
+        assert partition_join_count(a, b, grid=grid) == expected
+
+    @pytest.mark.parametrize("grid", [2, 5, 32])
+    def test_pairs_independent_of_grid(self, two_rect_sets, grid):
+        a, b = two_rect_sets
+        expected = partition_join_pairs(a, b, grid=1)
+        assert np.array_equal(partition_join_pairs(a, b, grid=grid), expected)
+
+    def test_spanning_rects_counted_once(self):
+        # One giant rect overlapping everything, replicated to all cells.
+        big = RectArray.from_rects([Rect(0, 0, 1, 1)])
+        small = RectArray.from_rects(
+            [Rect(0.1, 0.1, 0.2, 0.2), Rect(0.7, 0.7, 0.9, 0.9)]
+        )
+        assert partition_join_count(big, small, grid=8) == 2
+
+    def test_pair_on_cell_boundary(self):
+        # Intersection reference point exactly on a grid line.
+        a = RectArray.from_rects([Rect(0.0, 0.0, 0.5, 0.5)])
+        b = RectArray.from_rects([Rect(0.5, 0.5, 1.0, 1.0)])
+        for grid in (1, 2, 4):
+            assert partition_join_count(a, b, grid=grid) == 1
+
+
+class TestExplicitExtent:
+    def test_custom_extent(self, two_rect_sets):
+        a, b = two_rect_sets
+        expected = nested_loop_count(a, b)
+        assert partition_join_count(a, b, extent=Rect(-1, -1, 2, 2)) == expected
+
+    def test_empty_input(self):
+        assert partition_join_count(RectArray.empty(), RectArray.empty()) == 0
+
+    def test_data_outside_declared_extent_still_counted(self, rng):
+        # Clamping must not lose pairs even when the extent underscopes.
+        a = random_rects(rng, 200)
+        b = random_rects(rng, 200)
+        expected = nested_loop_count(a, b)
+        assert (
+            partition_join_count(a, b, extent=Rect(0.25, 0.25, 0.75, 0.75)) == expected
+        )

@@ -1,0 +1,80 @@
+"""Unit tests specific to the plane-sweep join internals."""
+
+import numpy as np
+
+from repro.geometry import Rect, RectArray
+from repro.join import plane_sweep_count, plane_sweep_pairs
+from repro.join.planesweep import _ActiveList
+from tests.conftest import random_rects
+
+
+class TestActiveList:
+    def test_insert_and_probe(self):
+        active = _ActiveList(capacity=2)
+        active.insert(0.0, 1.0, 0.5, 7)
+        hits = active.probe_and_evict(0.2, 0.5, 0.8)
+        assert hits.tolist() == [7]
+
+    def test_growth_beyond_capacity(self):
+        active = _ActiveList(capacity=2)
+        for i in range(100):
+            active.insert(0.0, 1.0, 10.0, i)
+        assert active.size == 100
+        hits = active.probe_and_evict(0.0, 0.0, 1.0)
+        assert sorted(hits.tolist()) == list(range(100))
+
+    def test_eviction_compacts_dead_entries(self):
+        active = _ActiveList()
+        active.insert(0.0, 1.0, 0.1, 0)  # dies at x > 0.1
+        active.insert(0.0, 1.0, 0.9, 1)
+        hits = active.probe_and_evict(0.5, 0.0, 1.0)
+        assert hits.tolist() == [1]
+        assert active.size == 1
+
+    def test_touching_xmax_stays_live(self):
+        active = _ActiveList()
+        active.insert(0.0, 1.0, 0.5, 0)
+        hits = active.probe_and_evict(0.5, 0.0, 1.0)  # sweep exactly at xmax
+        assert hits.tolist() == [0]
+
+    def test_y_filter(self):
+        active = _ActiveList()
+        active.insert(0.0, 0.2, 1.0, 0)
+        active.insert(0.8, 1.0, 1.0, 1)
+        hits = active.probe_and_evict(0.0, 0.3, 0.7)
+        assert hits.tolist() == []
+
+    def test_empty_probe(self):
+        active = _ActiveList()
+        assert active.probe_and_evict(0.0, 0.0, 1.0).shape == (0,)
+
+
+class TestSweepSpecifics:
+    def test_equal_xmin_tie_counted_once(self):
+        # Both rects start at the same x; the pair must appear exactly once.
+        a = RectArray.from_rects([Rect(0.5, 0.0, 1.0, 1.0)])
+        b = RectArray.from_rects([Rect(0.5, 0.5, 0.8, 0.8)])
+        assert plane_sweep_count(a, b) == 1
+        assert plane_sweep_pairs(a, b).tolist() == [[0, 0]]
+
+    def test_no_self_pairing_across_sides(self):
+        # Identical arrays on both sides: n*n pairs (cross product of
+        # overlapping identicals), not double-counted.
+        arr = RectArray.from_rects([Rect(0, 0, 1, 1)] * 3)
+        assert plane_sweep_count(arr, arr) == 9
+
+    def test_long_thin_rects(self, rng):
+        from repro.join import nested_loop_count
+
+        # Very wide rects keep the active list long — the stress case.
+        n = 300
+        x0 = rng.random(n) * 0.1
+        a = RectArray(x0, rng.random(n), x0 + 0.9, rng.random(n) + 1.0)
+        b = random_rects(rng, 300)
+        assert plane_sweep_count(a, b) == nested_loop_count(a, b)
+
+    def test_pairs_lexicographically_sorted(self, two_rect_sets):
+        a, b = two_rect_sets
+        pairs = plane_sweep_pairs(a, b)
+        order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        assert np.array_equal(order, np.arange(len(pairs)))

@@ -1,0 +1,112 @@
+"""Unit tests for the packed (bulk-loaded) R-trees."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectArray
+from repro.rtree import bulk_load_hilbert, bulk_load_str, pack_sorted
+from tests.conftest import random_rects
+
+LOADERS = [bulk_load_str, bulk_load_hilbert]
+
+
+@pytest.mark.parametrize("loader", LOADERS)
+class TestLoaders:
+    def test_empty(self, loader):
+        tree = loader(RectArray.empty())
+        assert len(tree) == 0
+        assert len(tree.search(Rect.unit())) == 0
+
+    def test_single(self, loader):
+        tree = loader(RectArray.from_rects([Rect(0, 0, 1, 1)]))
+        assert len(tree) == 1
+        assert tree.search(Rect(0.5, 0.5, 2, 2)).tolist() == [0]
+
+    @pytest.mark.parametrize("n", [1, 7, 32, 33, 1000])
+    def test_count_and_ids_preserved(self, loader, rng, n):
+        rects = random_rects(rng, n)
+        tree = loader(rects, max_entries=32)
+        assert len(tree) == n
+        ids = sorted(
+            i for node in tree.root.walk() if node.is_leaf for i in node.entry_ids
+        )
+        assert ids == list(range(n))
+
+    def test_queries_match_brute_force(self, loader, rng):
+        rects = random_rects(rng, 800)
+        tree = loader(rects, max_entries=16)
+        for query in (Rect(0.1, 0.2, 0.4, 0.5), Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)):
+            expected = np.nonzero(rects.intersects_rect(query))[0]
+            assert tree.search(query).tolist() == expected.tolist()
+
+    def test_leaves_well_filled(self, loader, rng):
+        """Packed trees should fill leaves to ~100% (except the last)."""
+        rects = random_rects(rng, 1000)
+        tree = loader(rects, max_entries=25)
+        leaves = [n for n in tree.root.walk() if n.is_leaf]
+        full = [leaf for leaf in leaves if leaf.fanout == 25]
+        assert len(full) >= len(leaves) - 1
+
+    def test_mbr_invariants(self, loader, rng):
+        rects = random_rects(rng, 500)
+        tree = loader(rects, max_entries=8)
+        for node in tree.root.walk():
+            if not node.is_leaf:
+                for child in node.children:
+                    assert node.mbr[0] <= child.mbr[0]
+                    assert node.mbr[2] >= child.mbr[2]
+
+    def test_height_is_logarithmic(self, loader, rng):
+        rects = random_rects(rng, 1024)
+        tree = loader(rects, max_entries=32)
+        assert tree.height <= 3
+
+
+class TestPackSorted:
+    def test_identity_order(self, rng):
+        rects = random_rects(rng, 100)
+        tree = pack_sorted(rects, np.arange(100))
+        assert len(tree) == 100
+
+    def test_rejects_non_permutation_shape(self, rng):
+        rects = random_rects(rng, 10)
+        with pytest.raises(ValueError):
+            pack_sorted(rects, np.arange(5))
+
+    def test_payloads_follow_original_indices(self, rng):
+        rects = random_rects(rng, 50)
+        order = np.arange(50)[::-1].copy()
+        tree = pack_sorted(rects, order)
+        query = rects[13]
+        assert 13 in tree.search(query).tolist()
+
+
+class TestPackingQuality:
+    def test_str_beats_random_order_on_overlap(self, rng):
+        """STR packing should produce far less leaf-MBR overlap than a
+        random packing — the reason bulk loading matters for joins."""
+        rects = random_rects(rng, 2000, max_side=0.01)
+
+        def total_leaf_perimeter(tree):
+            total = 0.0
+            for node in tree.root.walk():
+                if node.is_leaf:
+                    total += (node.mbr[2] - node.mbr[0]) + (node.mbr[3] - node.mbr[1])
+            return total
+
+        str_tree = bulk_load_str(rects, max_entries=32)
+        random_tree = pack_sorted(rects, rng.permutation(2000), max_entries=32)
+        assert total_leaf_perimeter(str_tree) < 0.5 * total_leaf_perimeter(random_tree)
+
+    def test_hilbert_close_to_str(self, rng):
+        rects = random_rects(rng, 2000, max_side=0.01)
+
+        def leaf_area(tree):
+            return sum(
+                (n.mbr[2] - n.mbr[0]) * (n.mbr[3] - n.mbr[1])
+                for n in tree.root.walk()
+                if n.is_leaf
+            )
+
+        ratio = leaf_area(bulk_load_hilbert(rects)) / leaf_area(bulk_load_str(rects))
+        assert 0.2 < ratio < 5.0

@@ -1,0 +1,107 @@
+"""Unit tests for R-tree deletion (Guttman Delete + CondenseTree)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree
+from tests.conftest import random_rects
+
+
+def verify_invariants(tree: RTree):
+    for node in tree.root.walk():
+        if node is not tree.root:
+            assert node.fanout <= tree.max_entries
+        for child in node.children:
+            assert child.level == node.level - 1
+            assert node.mbr[0] <= child.mbr[0] and node.mbr[1] <= child.mbr[1]
+            assert node.mbr[2] >= child.mbr[2] and node.mbr[3] >= child.mbr[3]
+
+
+class TestDelete:
+    def test_delete_existing_entry(self, rng):
+        rects = random_rects(rng, 50)
+        tree = RTree.from_rect_array(rects, max_entries=8)
+        assert tree.delete(rects[7], 7)
+        assert len(tree) == 49
+        assert 7 not in tree.search(rects[7]).tolist()
+
+    def test_delete_missing_entry(self, rng):
+        rects = random_rects(rng, 20)
+        tree = RTree.from_rect_array(rects, max_entries=8)
+        assert not tree.delete(Rect(5, 5, 6, 6), 99)
+        assert len(tree) == 20
+
+    def test_delete_requires_matching_payload(self, rng):
+        rects = random_rects(rng, 20)
+        tree = RTree.from_rect_array(rects, max_entries=8)
+        assert not tree.delete(rects[3], 999)
+        assert len(tree) == 20
+
+    def test_delete_all_one_by_one(self, rng):
+        rects = random_rects(rng, 120)
+        tree = RTree.from_rect_array(rects, max_entries=4)
+        order = rng.permutation(120)
+        for i in order:
+            assert tree.delete(rects[int(i)], int(i))
+            verify_invariants(tree)
+        assert len(tree) == 0
+        assert len(tree.search(Rect.unit())) == 0
+
+    def test_queries_correct_after_random_deletes(self, rng):
+        rects = random_rects(rng, 300)
+        tree = RTree.from_rect_array(rects, max_entries=6)
+        removed = set(rng.choice(300, size=150, replace=False).tolist())
+        for i in removed:
+            assert tree.delete(rects[int(i)], int(i))
+        remaining = np.array(sorted(set(range(300)) - removed))
+        query = Rect(0.2, 0.2, 0.8, 0.7)
+        expected = [
+            int(i) for i in remaining if rects[int(i)].intersects(query)
+        ]
+        assert tree.search(query).tolist() == expected
+        assert len(tree) == 150
+
+    def test_duplicate_rects_deleted_individually(self):
+        tree = RTree(max_entries=4)
+        rect = Rect(0.4, 0.4, 0.6, 0.6)
+        for i in range(10):
+            tree.insert(rect, i)
+        assert tree.delete(rect, 5)
+        hits = tree.search(rect).tolist()
+        assert 5 not in hits
+        assert len(hits) == 9
+
+    def test_root_collapse(self, rng):
+        rects = random_rects(rng, 100)
+        tree = RTree.from_rect_array(rects, max_entries=4)
+        tall_height = tree.height
+        for i in range(99):
+            tree.delete(rects[i], i)
+        assert tree.height < tall_height
+        assert len(tree) == 1
+
+    def test_interleaved_insert_delete(self, rng):
+        """Fuzz: random mix of inserts and deletes against a model set."""
+        tree = RTree(max_entries=5)
+        model: dict[int, Rect] = {}
+        next_id = 0
+        pool = random_rects(rng, 500)
+        for step in range(400):
+            if model and rng.random() < 0.4:
+                victim = int(rng.choice(list(model)))
+                assert tree.delete(model.pop(victim), victim)
+            else:
+                rect = pool[next_id % len(pool)]
+                tree.insert(rect, next_id)
+                model[next_id] = rect
+                next_id += 1
+        assert len(tree) == len(model)
+        query = Rect(0.1, 0.1, 0.6, 0.9)
+        expected = sorted(i for i, r in model.items() if r.intersects(query))
+        assert tree.search(query).tolist() == expected
+        verify_invariants(tree)
+
+    def test_delete_from_empty_tree(self):
+        tree = RTree()
+        assert not tree.delete(Rect.unit(), 0)

@@ -1,0 +1,78 @@
+"""Unit tests for the shared Node structure."""
+
+import numpy as np
+import pytest
+
+from repro.rtree import Node
+from repro.rtree.node import EMPTY_MBR, mbr_of_coords
+
+
+class TestMbrOfCoords:
+    def test_empty_is_sentinel(self):
+        assert mbr_of_coords(np.empty((0, 4))) == EMPTY_MBR
+
+    def test_single(self):
+        assert mbr_of_coords(np.array([[0.0, 1.0, 2.0, 3.0]])) == (0, 1, 2, 3)
+
+    def test_multiple(self):
+        coords = np.array([[0, 0, 1, 1], [2, -1, 3, 0.5]], dtype=float)
+        assert mbr_of_coords(coords) == (0, -1, 3, 1)
+
+
+class TestNode:
+    def test_leaf_basic(self):
+        node = Node(0, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([7]))
+        assert node.is_leaf
+        assert node.fanout == 1
+        assert node.mbr == (0, 0, 1, 1)
+
+    def test_leaf_rejects_children(self):
+        child = Node(0)
+        with pytest.raises(ValueError):
+            Node(0, children=[child])
+
+    def test_leaf_rejects_id_mismatch(self):
+        with pytest.raises(ValueError):
+            Node(0, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([1, 2]))
+
+    def test_internal_rejects_entries(self):
+        with pytest.raises(ValueError):
+            Node(1, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([0]))
+
+    def test_internal_mbr_covers_children(self):
+        a = Node(0, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([0]))
+        b = Node(0, entry_coords=np.array([[2, 2, 3, 3]]), entry_ids=np.array([1]))
+        parent = Node(1, children=[a, b])
+        assert parent.mbr == (0, 0, 3, 3)
+        assert parent.fanout == 2
+
+    def test_empty_node_intersects_nothing(self):
+        node = Node(0)
+        assert not node.mbr_intersects((0, 0, 1e12, 1e12))
+
+    def test_mbr_intersects(self):
+        node = Node(0, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([0]))
+        assert node.mbr_intersects((1, 1, 2, 2))  # touching corner
+        assert not node.mbr_intersects((2, 2, 3, 3))
+
+    def test_child_mbr_array(self):
+        a = Node(0, entry_coords=np.array([[0, 0, 1, 1]]), entry_ids=np.array([0]))
+        parent = Node(1, children=[a])
+        arr = parent.child_mbr_array()
+        assert arr.shape == (1, 4)
+        with pytest.raises(ValueError):
+            a.child_mbr_array()
+
+    def test_walk_visits_all(self):
+        leaves = [
+            Node(0, entry_coords=np.array([[i, i, i + 1.0, i + 1.0]]), entry_ids=np.array([i]))
+            for i in range(3)
+        ]
+        root = Node(1, children=leaves)
+        visited = list(root.walk())
+        assert len(visited) == 4
+        assert visited[0] is root
+
+    def test_repr(self):
+        assert "leaf" in repr(Node(0))
+        assert "internal" in repr(Node(2, children=[Node(1, children=[Node(0)])]))

@@ -1,0 +1,84 @@
+"""Unit tests for R-tree window queries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, RectArray
+from repro.rtree import (
+    RTree,
+    bulk_load_str,
+    count_intersecting,
+    search_contained,
+    search_intersecting,
+)
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def indexed(rng):
+    rects = random_rects(rng, 600)
+    return rects, bulk_load_str(rects, max_entries=16)
+
+
+class TestSearchIntersecting:
+    def test_matches_brute_force(self, indexed):
+        rects, tree = indexed
+        query = Rect(0.3, 0.1, 0.6, 0.4)
+        expected = np.nonzero(rects.intersects_rect(query))[0]
+        assert search_intersecting(tree.root, query).tolist() == expected.tolist()
+
+    def test_result_sorted(self, indexed):
+        _, tree = indexed
+        out = search_intersecting(tree.root, Rect(0, 0, 1, 1))
+        assert np.all(np.diff(out) >= 0)
+
+    def test_no_hits_empty_array(self, indexed):
+        _, tree = indexed
+        out = search_intersecting(tree.root, Rect(5, 5, 6, 6))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_point_query(self, indexed):
+        rects, tree = indexed
+        query = Rect.point(0.5, 0.5)
+        expected = np.nonzero(rects.intersects_rect(query))[0]
+        assert search_intersecting(tree.root, query).tolist() == expected.tolist()
+
+
+class TestCountIntersecting:
+    def test_matches_search_length(self, indexed):
+        rects, tree = indexed
+        for query in (Rect(0, 0, 0.5, 0.5), Rect(0.9, 0.9, 1, 1)):
+            assert count_intersecting(tree.root, query) == len(
+                search_intersecting(tree.root, query)
+            )
+
+    def test_full_extent_counts_everything(self, indexed):
+        rects, tree = indexed
+        assert count_intersecting(tree.root, Rect(0, 0, 1, 1)) == len(rects)
+
+
+class TestSearchContained:
+    def test_matches_brute_force(self, indexed):
+        rects, tree = indexed
+        query = Rect(0.2, 0.2, 0.8, 0.8)
+        expected = np.nonzero(rects.contained_in_rect(query))[0]
+        assert search_contained(tree.root, query).tolist() == expected.tolist()
+
+    def test_containment_subset_of_intersection(self, indexed):
+        _, tree = indexed
+        query = Rect(0.3, 0.3, 0.7, 0.7)
+        contained = set(search_contained(tree.root, query).tolist())
+        intersecting = set(search_intersecting(tree.root, query).tolist())
+        assert contained <= intersecting
+
+    def test_no_hits(self, indexed):
+        _, tree = indexed
+        assert search_contained(tree.root, Rect.point(0.5, 0.5)).shape[0] in (0, 1)
+
+    def test_works_on_dynamic_tree(self, rng):
+        rects = random_rects(rng, 200)
+        tree = RTree.from_rect_array(rects, max_entries=6)
+        query = Rect(0.1, 0.1, 0.9, 0.9)
+        expected = np.nonzero(rects.contained_in_rect(query))[0]
+        assert search_contained(tree.root, query).tolist() == expected.tolist()

@@ -1,0 +1,124 @@
+"""Unit tests for the dynamic Guttman R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree
+from tests.conftest import random_rects
+
+
+def brute_force_ids(rects, query: Rect) -> np.ndarray:
+    return np.nonzero(rects.intersects_rect(query))[0]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert len(tree.search(Rect.unit())) == 0
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+
+    def test_bad_min_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_single_insert(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), 42)
+        assert len(tree) == 1
+        assert tree.search(Rect(0.5, 0.5, 2, 2)).tolist() == [42]
+
+    def test_extend(self):
+        tree = RTree()
+        tree.extend([(Rect(0, 0, 1, 1), 0), (Rect(2, 2, 3, 3), 1)])
+        assert len(tree) == 2
+
+    def test_height_grows_with_splits(self, rng):
+        tree = RTree(max_entries=4)
+        rects = random_rects(rng, 200)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        assert tree.height >= 3
+        assert len(tree) == 200
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("max_entries", [4, 8, 32])
+    def test_search_matches_brute_force(self, rng, max_entries):
+        rects = random_rects(rng, 500)
+        tree = RTree.from_rect_array(rects, max_entries=max_entries)
+        for query in (
+            Rect(0.1, 0.1, 0.3, 0.3),
+            Rect(0, 0, 1, 1),
+            Rect(0.5, 0.5, 0.500001, 0.500001),
+            Rect(2, 2, 3, 3),  # off-data
+        ):
+            assert tree.search(query).tolist() == brute_force_ids(rects, query).tolist()
+
+    def test_count_matches_search(self, rng):
+        rects = random_rects(rng, 300)
+        tree = RTree.from_rect_array(rects)
+        query = Rect(0.2, 0.2, 0.7, 0.9)
+        assert tree.count(query) == len(tree.search(query))
+
+    def test_duplicate_rects_all_found(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert(Rect(0.4, 0.4, 0.6, 0.6), i)
+        assert tree.search(Rect(0.5, 0.5, 0.5, 0.5)).tolist() == list(range(20))
+
+    def test_point_entries(self, rng):
+        from repro.geometry import RectArray
+
+        x, y = rng.random(100), rng.random(100)
+        points = RectArray.from_points(x, y)
+        tree = RTree.from_rect_array(points, max_entries=8)
+        query = Rect(0.25, 0.25, 0.75, 0.75)
+        assert tree.search(query).tolist() == brute_force_ids(points, query).tolist()
+
+
+class TestStructuralInvariants:
+    def _check_node(self, node, max_entries, is_root):
+        if not is_root:
+            assert node.fanout <= max_entries
+        if node.is_leaf:
+            coords = node.entry_coords
+            if coords.shape[0]:
+                assert node.mbr[0] == coords[:, 0].min()
+                assert node.mbr[1] == coords[:, 1].min()
+                assert node.mbr[2] == coords[:, 2].max()
+                assert node.mbr[3] == coords[:, 3].max()
+        else:
+            assert node.children
+            for child in node.children:
+                assert child.level == node.level - 1
+                assert node.mbr[0] <= child.mbr[0]
+                assert node.mbr[1] <= child.mbr[1]
+                assert node.mbr[2] >= child.mbr[2]
+                assert node.mbr[3] >= child.mbr[3]
+                self._check_node(child, max_entries, is_root=False)
+
+    @pytest.mark.parametrize("n", [1, 5, 33, 200])
+    @pytest.mark.parametrize("max_entries", [4, 16])
+    def test_invariants_after_inserts(self, rng, n, max_entries):
+        rects = random_rects(rng, n)
+        tree = RTree.from_rect_array(rects, max_entries=max_entries)
+        self._check_node(tree.root, max_entries, is_root=True)
+
+    def test_all_leaves_same_level(self, rng):
+        tree = RTree.from_rect_array(random_rects(rng, 400), max_entries=4)
+        leaf_levels = {n.level for n in tree.root.walk() if n.is_leaf}
+        assert leaf_levels == {0}
+
+    def test_entry_count_preserved(self, rng):
+        rects = random_rects(rng, 333)
+        tree = RTree.from_rect_array(rects, max_entries=5)
+        total = sum(n.fanout for n in tree.root.walk() if n.is_leaf)
+        assert total == 333

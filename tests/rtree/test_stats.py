@@ -1,0 +1,62 @@
+"""Unit tests for R-tree statistics."""
+
+import pytest
+
+from repro.geometry import RectArray
+from repro.rtree import (
+    BYTES_PER_ENTRY,
+    RTree,
+    bulk_load_str,
+    collect_stats,
+    tree_size_bytes,
+)
+from tests.conftest import random_rects
+
+
+class TestCollectStats:
+    def test_entry_count_matches_len(self, rng):
+        rects = random_rects(rng, 500)
+        tree = bulk_load_str(rects, max_entries=20)
+        stats = collect_stats(tree)
+        assert stats.entry_count == 500
+
+    def test_heights_agree(self, rng):
+        tree = bulk_load_str(random_rects(rng, 500), max_entries=8)
+        assert collect_stats(tree).height == tree.height
+
+    def test_node_count_decomposition(self, rng):
+        tree = bulk_load_str(random_rects(rng, 300), max_entries=8)
+        stats = collect_stats(tree)
+        # Every non-root node is a child entry of some internal node.
+        assert stats.internal_entry_count == stats.node_count - 1
+
+    def test_size_accounting(self, rng):
+        tree = bulk_load_str(random_rects(rng, 100), max_entries=10)
+        stats = collect_stats(tree)
+        assert stats.size_bytes == (
+            stats.entry_count + stats.internal_entry_count
+        ) * BYTES_PER_ENTRY
+        assert tree_size_bytes(tree) == stats.size_bytes
+
+    def test_leaf_fill(self, rng):
+        tree = bulk_load_str(random_rects(rng, 1000), max_entries=25)
+        stats = collect_stats(tree)
+        assert 20 <= stats.average_leaf_fill <= 25
+
+    def test_empty_tree(self):
+        tree = bulk_load_str(RectArray.empty())
+        stats = collect_stats(tree)
+        assert stats.entry_count == 0
+        assert stats.size_bytes == 0
+        assert stats.average_leaf_fill == 0.0
+
+    def test_dynamic_tree_stats(self, rng):
+        tree = RTree.from_rect_array(random_rects(rng, 200), max_entries=6)
+        stats = collect_stats(tree)
+        assert stats.entry_count == 200
+        assert stats.leaf_count >= 200 / 6
+
+    def test_size_grows_with_data(self, rng):
+        small = tree_size_bytes(bulk_load_str(random_rects(rng, 100)))
+        large = tree_size_bytes(bulk_load_str(random_rects(rng, 10_000)))
+        assert large > 50 * small

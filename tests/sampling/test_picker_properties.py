@@ -1,0 +1,58 @@
+"""Property-based tests for the sample pickers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import make_uniform
+from repro.sampling import (
+    random_wr_sample_indices,
+    regular_sample_indices,
+    sample_size_for_fraction,
+    sorted_sample_indices,
+)
+
+sizes = st.integers(min_value=1, max_value=5000)
+fractions = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+
+
+@given(sizes, fractions)
+def test_regular_indices_valid_and_strictly_increasing(n, fraction):
+    idx = regular_sample_indices(n, fraction)
+    assert len(idx) >= 1
+    assert idx[0] == 0
+    assert idx[-1] < n
+    assert np.all(np.diff(idx) > 0)
+
+
+@given(sizes, fractions)
+def test_regular_spacing_constant(n, fraction):
+    idx = regular_sample_indices(n, fraction)
+    if len(idx) > 1:
+        gaps = np.diff(idx)
+        assert gaps.min() == gaps.max()  # every k-th exactly
+
+
+@given(sizes, fractions)
+def test_regular_size_close_to_target(n, fraction):
+    idx = regular_sample_indices(n, fraction)
+    target = sample_size_for_fraction(n, fraction)
+    # RS takes ceil(n / ceil(n / target)) items; never more than ~2x off.
+    assert target / 2 <= len(idx) <= 2 * target + 1
+
+
+@given(sizes, fractions, st.integers(min_value=0, max_value=2**31))
+def test_rswr_bounds_and_size(n, fraction, seed):
+    rng = np.random.default_rng(seed)
+    idx = random_wr_sample_indices(n, fraction, rng)
+    assert len(idx) == sample_size_for_fraction(n, fraction)
+    if len(idx):
+        assert idx.min() >= 0 and idx.max() < n
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=500), fractions)
+def test_sorted_sampling_unique_indices(n, fraction):
+    ds = make_uniform(n, seed=n)
+    idx = sorted_sample_indices(ds, fraction)
+    assert len(np.unique(idx)) == len(idx)
+    assert idx.min() >= 0 and idx.max() < n

@@ -1,0 +1,140 @@
+"""Unit tests for the three sample pickers (RS, RSWR, SS)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_uniform
+from repro.sampling import (
+    SAMPLING_METHODS,
+    pick_sample_indices,
+    random_wr_sample_indices,
+    regular_sample_indices,
+    sample_size_for_fraction,
+    sorted_sample_indices,
+)
+from repro.hilbert import hilbert_keys_for_points
+
+
+class TestSampleSize:
+    def test_basic(self):
+        assert sample_size_for_fraction(1000, 0.1) == 100
+
+    def test_rounding(self):
+        assert sample_size_for_fraction(999, 0.001) == 1
+
+    def test_at_least_one(self):
+        assert sample_size_for_fraction(3, 0.01) == 1
+
+    def test_empty_dataset(self):
+        assert sample_size_for_fraction(0, 0.5) == 0
+
+    def test_full_fraction(self):
+        assert sample_size_for_fraction(123, 1.0) == 123
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            sample_size_for_fraction(10, fraction)
+
+
+class TestRegularSampling:
+    def test_every_kth(self):
+        idx = regular_sample_indices(100, 0.1)
+        assert idx.tolist() == list(range(0, 100, 10))
+
+    def test_full_fraction_identity(self):
+        assert regular_sample_indices(50, 1.0).tolist() == list(range(50))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            regular_sample_indices(1000, 0.05), regular_sample_indices(1000, 0.05)
+        )
+
+    def test_size_close_to_target(self):
+        for n, frac in [(1000, 0.1), (997, 0.03), (10, 0.5)]:
+            idx = regular_sample_indices(n, frac)
+            target = sample_size_for_fraction(n, frac)
+            assert abs(len(idx) - target) <= max(1, 0.1 * target)
+
+    def test_indices_valid_and_unique(self):
+        idx = regular_sample_indices(500, 0.07)
+        assert len(set(idx.tolist())) == len(idx)
+        assert idx.min() >= 0 and idx.max() < 500
+
+    def test_empty_dataset(self):
+        assert regular_sample_indices(0, 0.1).shape == (0,)
+
+
+class TestRandomSamplingWithReplacement:
+    def test_size(self, rng):
+        idx = random_wr_sample_indices(1000, 0.1, rng)
+        assert len(idx) == 100
+
+    def test_bounds(self, rng):
+        idx = random_wr_sample_indices(50, 0.9, rng)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_replacement_possible(self):
+        rng = np.random.default_rng(0)
+        idx = random_wr_sample_indices(10, 1.0, rng)
+        # With replacement, 10 draws from 10 items almost surely repeat.
+        assert len(set(idx.tolist())) < 10
+
+    def test_reproducible_with_seeded_rng(self):
+        a = random_wr_sample_indices(100, 0.3, np.random.default_rng(42))
+        b = random_wr_sample_indices(100, 0.3, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(1)
+        idx = random_wr_sample_indices(10, 1.0, rng)
+        draws = np.concatenate(
+            [random_wr_sample_indices(10, 1.0, rng) for _ in range(2000)]
+        )
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 0.7 * counts.mean()
+
+
+class TestSortedSampling:
+    def test_indices_follow_hilbert_order(self):
+        ds = make_uniform(500, seed=0)
+        idx = sorted_sample_indices(ds, 0.1)
+        cx, cy = ds.rects.centers()
+        keys = hilbert_keys_for_points(
+            cx, cy, extent_min=(0, 0), extent_size=(1, 1)
+        )
+        sampled_keys = keys[idx].astype(np.int64)
+        assert np.all(np.diff(sampled_keys) >= 0)
+
+    def test_size(self):
+        ds = make_uniform(1000, seed=0)
+        assert len(sorted_sample_indices(ds, 0.05)) == pytest.approx(50, abs=5)
+
+    def test_deterministic(self):
+        ds = make_uniform(300, seed=0)
+        assert np.array_equal(sorted_sample_indices(ds, 0.1), sorted_sample_indices(ds, 0.1))
+
+    def test_spatial_coverage(self):
+        """Hilbert-ordered regular sampling spreads over the extent."""
+        ds = make_uniform(2000, seed=0)
+        idx = sorted_sample_indices(ds, 0.05)
+        cx, _ = ds.rects.centers()
+        sampled = cx[idx]
+        assert sampled.min() < 0.2 and sampled.max() > 0.8
+
+
+class TestDispatch:
+    def test_methods_tuple(self):
+        assert SAMPLING_METHODS == ("rs", "rswr", "ss")
+
+    @pytest.mark.parametrize("method", SAMPLING_METHODS)
+    def test_dispatch_works(self, method, rng):
+        ds = make_uniform(200, seed=0)
+        idx = pick_sample_indices(ds, 0.1, method, rng)
+        assert 1 <= len(idx) <= 40
+        assert idx.min() >= 0 and idx.max() < 200
+
+    def test_unknown_method(self, rng):
+        ds = make_uniform(10, seed=0)
+        with pytest.raises(ValueError, match="unknown sampling method"):
+            pick_sample_indices(ds, 0.1, "bogus", rng)

@@ -1,0 +1,83 @@
+"""Pickle-ability of the public value types.
+
+Deployments fan statistics out across processes (parallel builds,
+multiprocessing optimizers), so the catalog-able objects must survive
+pickling.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import GHEstimator, ParametricEstimator, PHEstimator
+from repro.datasets import SpatialDataset, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.histograms import BasicGHHistogram, GHHistogram, PHHistogram
+from repro.sampling import SamplingJoinEstimator
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestGeometryPickling:
+    def test_rect(self):
+        r = Rect(0.1, 0.2, 0.3, 0.4)
+        assert roundtrip(r) == r
+
+    def test_rectarray(self, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 50)
+        back = roundtrip(arr)
+        assert back == arr
+
+
+class TestDatasetPickling:
+    def test_dataset(self):
+        ds = make_uniform(100, seed=0)
+        back = roundtrip(ds)
+        assert back.name == ds.name
+        assert back.rects == ds.rects
+        assert back.extent == ds.extent
+
+
+class TestHistogramPickling:
+    @pytest.mark.parametrize("hist_cls", [PHHistogram, GHHistogram, BasicGHHistogram])
+    def test_histograms(self, hist_cls):
+        ds = make_uniform(200, seed=1)
+        hist = hist_cls.build(ds, 3)
+        back = roundtrip(hist)
+        assert back.grid == hist.grid
+        assert back.count == hist.count
+        assert back.estimate_selectivity(hist) == hist.estimate_selectivity(hist)
+
+
+class TestEstimatorPickling:
+    @pytest.mark.parametrize(
+        "estimator",
+        [ParametricEstimator(), PHEstimator(3), GHEstimator(5),
+         SamplingJoinEstimator("rswr", 0.2, 0.2, seed=1)],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_estimators(self, estimator):
+        a = make_uniform(300, seed=2)
+        b = make_uniform(300, seed=3)
+        back = roundtrip(estimator)
+        assert back.estimate(a, b) == estimator.estimate(a, b)
+
+
+class TestCrossProcessScenario:
+    def test_parallel_shard_build_via_pickle(self):
+        """Simulate the merge-of-shards flow through pickled histograms."""
+        from repro.histograms import merge_histograms
+
+        ds = make_uniform(400, seed=4)
+        half1 = SpatialDataset("h1", ds.rects[np.arange(200)], ds.extent)
+        half2 = SpatialDataset("h2", ds.rects[np.arange(200, 400)], ds.extent)
+        shard1 = roundtrip(GHHistogram.build(half1, 3))
+        shard2 = roundtrip(GHHistogram.build(half2, 3))
+        merged = merge_histograms(shard1, shard2)
+        direct = GHHistogram.build(ds, 3)
+        assert np.allclose(merged.c, direct.c)
