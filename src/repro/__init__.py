@@ -52,10 +52,31 @@ from .histograms import (
     parametric_selectivity,
     ph_selectivity,
 )
+from .errors import (
+    DegradedResultWarning,
+    EstimationTimeout,
+    EstimatorUnavailable,
+    InvalidDatasetError,
+    ReproError,
+    TransientEstimationError,
+)
 from .join import actual_selectivity, join_count, join_pairs
+from .runtime import Deadline
 from .sampling import SamplingJoinEstimator
+from .service import (
+    FaultPlan,
+    FaultSpec,
+    Provenance,
+    ResilientEstimator,
+    ResilientResult,
+    ValidationReport,
+    coerce_dataset,
+    inject_faults,
+    validate_dataset,
+    validate_pair,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -96,4 +117,23 @@ __all__ = [
     "catalog_for",
     "optimize_join_order",
     "relative_error_pct",
+    # error taxonomy
+    "ReproError",
+    "InvalidDatasetError",
+    "EstimationTimeout",
+    "EstimatorUnavailable",
+    "TransientEstimationError",
+    "DegradedResultWarning",
+    # resilient estimation service
+    "Deadline",
+    "ResilientEstimator",
+    "ResilientResult",
+    "Provenance",
+    "ValidationReport",
+    "validate_dataset",
+    "validate_pair",
+    "coerce_dataset",
+    "FaultPlan",
+    "FaultSpec",
+    "inject_faults",
 ]

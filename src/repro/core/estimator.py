@@ -54,7 +54,14 @@ class JoinSelectivityEstimator(ABC):
         """Estimated selectivity in ``[0, ∞)`` (estimates may overshoot 1)."""
 
     def estimate_pairs(self, ds1: SpatialDataset, ds2: SpatialDataset) -> float:
-        """Estimated join result *size* (selectivity × |DS1| × |DS2|)."""
+        """Estimated join result *size* (selectivity × |DS1| × |DS2|).
+
+        A join with an empty side has exactly zero result pairs, so the
+        empty case is answered directly (``0.0``) without consulting the
+        estimator — every estimator kind shares this semantics.
+        """
+        if len(ds1) == 0 or len(ds2) == 0:
+            return 0.0
         return self.estimate(ds1, ds2) * len(ds1) * len(ds2)
 
 
@@ -70,8 +77,15 @@ class PreparedEstimator(JoinSelectivityEstimator):
         """Estimate selectivity from two prepared summaries."""
 
     def estimate(self, ds1: SpatialDataset, ds2: SpatialDataset) -> float:
-        """One-shot estimate: prepare both sides on the shared extent, combine."""
+        """One-shot estimate: prepare both sides on the shared extent, combine.
+
+        An empty side short-circuits to ``0.0`` (the selectivity of a
+        join with no pairs is defined as zero) — no statistics are built
+        and no combine formula risks dividing by a zero cardinality.
+        """
         extent = _shared_extent(ds1, ds2)
+        if len(ds1) == 0 or len(ds2) == 0:
+            return 0.0
         return self.combine(
             self.prepare(ds1, extent=extent), self.prepare(ds2, extent=extent)
         )

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import InvalidDatasetError
 from ..geometry import Rect, RectArray, common_extent
 
 __all__ = ["SpatialDataset", "DatasetSummary"]
@@ -40,11 +41,11 @@ class SpatialDataset:
 
     def __post_init__(self) -> None:
         if self.extent.width <= 0 or self.extent.height <= 0:
-            raise ValueError("dataset extent must have positive area")
+            raise InvalidDatasetError("dataset extent must have positive area")
         if len(self.rects):
             bounds = self.rects.bounds()
             if not self.extent.contains_rect(bounds):
-                raise ValueError(
+                raise InvalidDatasetError(
                     f"dataset {self.name!r} has rectangles outside its extent "
                     f"(bounds {bounds.as_tuple()}, extent {self.extent.as_tuple()})"
                 )

@@ -13,12 +13,14 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import InvalidDatasetError
 from ..geometry import Rect, RectArray
 from .base import SpatialDataset
 
 __all__ = ["save_dataset", "load_dataset"]
 
 _FORMAT_VERSION = 1
+_REQUIRED_KEYS = ("version", "name", "coords", "extent")
 
 
 def save_dataset(dataset: SpatialDataset, path: str | os.PathLike) -> Path:
@@ -37,12 +39,47 @@ def save_dataset(dataset: SpatialDataset, path: str | os.PathLike) -> Path:
 
 
 def load_dataset(path: str | os.PathLike) -> SpatialDataset:
-    """Read a dataset written by :func:`save_dataset`."""
+    """Read a dataset written by :func:`save_dataset`.
+
+    Files with missing or malformed keys, non-finite or inverted
+    coordinates, or a degenerate extent raise
+    :class:`~repro.errors.InvalidDatasetError` (a :class:`ValueError`
+    subclass) naming the offending field — user-supplied ``.npz``
+    drop-ins fail loudly instead of crashing deep inside an estimator.
+    """
     with np.load(path, allow_pickle=False) as data:
+        missing = [key for key in _REQUIRED_KEYS if key not in data]
+        if missing:
+            raise InvalidDatasetError(
+                f"dataset file {path} is missing required key(s) {missing}"
+            )
         version = int(data["version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported dataset file version {version}")
         name = str(data["name"])
-        coords = data["coords"]
-        extent = Rect(*(float(v) for v in data["extent"]))
-    return SpatialDataset(name, RectArray.from_coords(coords), extent)
+        coords = np.asarray(data["coords"], dtype=np.float64)
+        extent_values = np.asarray(data["extent"], dtype=np.float64).ravel()
+
+    if extent_values.shape != (4,) or not np.isfinite(extent_values).all():
+        raise InvalidDatasetError(
+            f"dataset file {path} has a malformed extent {extent_values!r}"
+        )
+    try:
+        extent = Rect(*(float(v) for v in extent_values))
+    except ValueError as exc:
+        raise InvalidDatasetError(f"dataset file {path}: {exc}") from exc
+
+    if coords.size and (coords.ndim != 2 or coords.shape[1] != 4):
+        raise InvalidDatasetError(
+            f"dataset file {path} has coords of shape {coords.shape}, expected (n, 4)"
+        )
+    if coords.size and not np.isfinite(coords).all():
+        bad = int(np.flatnonzero(~np.isfinite(coords).all(axis=1))[0])
+        raise InvalidDatasetError(
+            f"dataset file {path} has NaN/inf coordinates (first at row {bad})"
+        )
+    try:
+        rects = RectArray.from_coords(coords)
+        return SpatialDataset(name, rects, extent)
+    except ValueError as exc:  # inverted min/max, rects outside the extent
+        raise InvalidDatasetError(f"dataset file {path}: {exc}") from exc

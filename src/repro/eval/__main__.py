@@ -16,7 +16,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+import math
+
 from ..datasets import paper_pairs
+from ..histograms import MAX_LEVEL
 from .figures import render_figure6, render_figure7
 from .harness import prepare_pairs, run_histogram_experiment, run_sampling_experiment
 
@@ -24,10 +27,47 @@ __all__ = ["main"]
 
 
 def _parse_levels(spec: str) -> list[int]:
-    if "-" in spec:
-        lo, hi = spec.split("-", 1)
-        return list(range(int(lo), int(hi) + 1))
-    return [int(part) for part in spec.split(",")]
+    """Parse a ``--levels`` spec (``'0-9'`` or ``'0,3,5'``).
+
+    Raises :class:`argparse.ArgumentTypeError` on malformed specs so the
+    CLI exits with code 2 and a one-line message instead of a traceback.
+    """
+    try:
+        if "-" in spec:
+            lo_text, hi_text = spec.split("-", 1)
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise argparse.ArgumentTypeError(
+                    f"empty level range {spec!r} (use LO-HI with LO <= HI)"
+                )
+            levels = list(range(lo, hi + 1))
+        else:
+            levels = [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --levels spec {spec!r}; expected e.g. '0-9' or '0,3,5'"
+        ) from None
+    if not levels:
+        raise argparse.ArgumentTypeError(f"--levels spec {spec!r} selects no levels")
+    out_of_range = [lv for lv in levels if not 0 <= lv <= MAX_LEVEL]
+    if out_of_range:
+        raise argparse.ArgumentTypeError(
+            f"levels {out_of_range} outside the supported range [0, {MAX_LEVEL}]"
+        )
+    return levels
+
+
+def _parse_scale(spec: str) -> float:
+    """Parse ``--scale`` as a finite positive float (exit code 2 otherwise)."""
+    try:
+        value = float(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid --scale {spec!r}; expected a number") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"--scale must be a finite positive number, got {spec!r}"
+        )
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         "'Selectivity Estimation for Spatial Joins' (ICDE 2001).",
     )
     parser.add_argument("figure", choices=["datasets", "fig6", "fig7", "ablations", "stability", "all"])
-    parser.add_argument("--scale", type=float, default=20.0,
+    parser.add_argument("--scale", type=_parse_scale, default=20.0,
                         help="divide paper dataset cardinalities by this (default 20)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="sampling repetitions per configuration (fig6)")

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect, RectArray
+from ..runtime import checkpoint, mutate
 from .grid import Grid
 
 __all__ = ["GHHistogram", "gh_selectivity"]
@@ -77,10 +78,16 @@ class GHHistogram:
         h = np.zeros(cells)
         v = np.zeros(cells)
         if len(rects):
+            # Cooperative checkpoints between the vectorized stages let a
+            # per-call deadline (and the fault harness) preempt the build.
+            checkpoint("gh.build.corners")
             cls._accumulate_corners(grid, rects, c)
+            checkpoint("gh.build.overlaps")
             ov = grid.overlaps(rects)
             np.add.at(o, ov.flat, ov.clipped.areas() / grid.cell_area)
+            checkpoint("gh.build.edges")
             cls._accumulate_edges(grid, rects, h, v)
+        c, o, h, v = mutate("gh.build.cells", (c, o, h, v))
         return cls(grid=grid, count=len(rects), c=c, o=o, h=h, v=v)
 
     @staticmethod

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect
+from ..runtime import checkpoint, mutate
 from .grid import Grid
 
 __all__ = ["BasicGHHistogram", "gh_basic_selectivity"]
@@ -57,6 +58,7 @@ class BasicGHHistogram:
         h = np.zeros(cells)
         v = np.zeros(cells)
         if len(rects):
+            checkpoint("gh_basic.build")
             # Corners (all four per MBR).
             for x, y in (
                 (rects.xmin, rects.ymin),
@@ -78,6 +80,7 @@ class BasicGHHistogram:
                 _count_runs(lo=i0, hi=i1, fixed=row, stride_fixed=grid.side, stride_run=1, out=h)
             for col in (i0, i1):
                 _count_runs(lo=j0, hi=j1, fixed=col, stride_fixed=1, stride_run=grid.side, out=v)
+        c, i_cnt, h, v = mutate("gh_basic.build.cells", (c, i_cnt, h, v))
         return cls(grid=grid, count=len(rects), c=c, i=i_cnt, h=h, v=v)
 
     # ------------------------------------------------------------------

@@ -43,14 +43,21 @@ def aref_samet_size(s1: DatasetSummary, s2: DatasetSummary) -> float:
 
 
 def aref_samet_selectivity(s1: DatasetSummary, s2: DatasetSummary) -> float:
-    """Equation 2: Eq. 1 normalized by the Cartesian-product size."""
+    """Equation 2: Eq. 1 normalized by the Cartesian-product size.
+
+    An empty side means zero result pairs out of an (empty) Cartesian
+    product; the selectivity of that join is *defined* as ``0.0`` rather
+    than dividing by the zero product size.
+    """
     if s1.count == 0 or s2.count == 0:
         return 0.0
     return aref_samet_size(s1, s2) / (s1.count * s2.count)
 
 
 def parametric_selectivity(ds1: SpatialDataset, ds2: SpatialDataset) -> float:
-    """Convenience wrapper taking datasets directly."""
+    """Convenience wrapper taking datasets directly (0.0 for empty inputs)."""
     if ds1.extent != ds2.extent:
         raise ValueError("datasets must share a common extent")
+    if len(ds1) == 0 or len(ds2) == 0:
+        return 0.0
     return aref_samet_selectivity(ds1.summary(), ds2.summary())

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect
+from ..runtime import checkpoint, mutate
 from .grid import Grid
 
 __all__ = ["PHHistogram", "ph_selectivity"]
@@ -82,6 +83,9 @@ class PHHistogram:
         h_sum_i = np.zeros(cells)
 
         if len(rects):
+            # Cooperative checkpoints between the vectorized stages let a
+            # per-call deadline (and the fault harness) preempt the build.
+            checkpoint("ph.build.contained")
             contained = grid.contained_mask(rects)
             cont = rects[contained]
             if len(cont):
@@ -90,6 +94,7 @@ class PHHistogram:
                 np.add.at(area_sum, flat, cont.areas())
                 np.add.at(w_sum, flat, cont.widths())
                 np.add.at(h_sum, flat, cont.heights())
+            checkpoint("ph.build.spanning")
             spanning = rects[~contained]
             if len(spanning):
                 ov = grid.overlaps(spanning)
@@ -109,16 +114,21 @@ class PHHistogram:
             yavg = np.where(num > 0, h_sum / np.maximum(num, 1.0), 0.0)
             xavg_i = np.where(num_i > 0, w_sum_i / np.maximum(num_i, 1.0), 0.0)
             yavg_i = np.where(num_i > 0, h_sum_i / np.maximum(num_i, 1.0), 0.0)
+        cov = area_sum / cell_area
+        cov_i = area_sum_i / cell_area
+        num, cov, xavg, yavg, num_i, cov_i, xavg_i, yavg_i = mutate(
+            "ph.build.cells", (num, cov, xavg, yavg, num_i, cov_i, xavg_i, yavg_i)
+        )
         return cls(
             grid=grid,
             count=len(rects),
             avg_span=avg_span,
             num=num,
-            cov=area_sum / cell_area,
+            cov=cov,
             xavg=xavg,
             yavg=yavg,
             num_i=num_i,
-            cov_i=area_sum_i / cell_area,
+            cov_i=cov_i,
             xavg_i=xavg_i,
             yavg_i=yavg_i,
         )

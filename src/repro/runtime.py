@@ -1,0 +1,163 @@
+"""Cooperative runtime control: deadlines and fault/mutation hooks.
+
+The long-running operations in this library — GH/PH histogram builds and
+the sampling join — are numpy-vectorized stage pipelines, not tight
+Python loops, so the natural unit of preemption is the *stage*: between
+stages each operation calls :func:`checkpoint` with a dotted stage name
+(``"gh.build.edges"``, ``"sampling.join"``, ...).  When nothing is
+installed the checkpoint is a single context-variable read — effectively
+free — so the hooks can stay threaded through the hot paths permanently.
+
+Two things can be installed for the current (thread/task-local) scope
+with :func:`runtime_scope`:
+
+* a :class:`Deadline` — every checkpoint raises
+  :class:`~repro.errors.EstimationTimeout` once the budget is exhausted
+  (cooperative cancellation, the way partition-level budgets work in
+  parallel spatial-join engines);
+* a *hook* — an object with optional ``on_checkpoint(stage)`` and
+  ``on_mutate(stage, value)`` methods.  The fault-injection harness
+  (:mod:`repro.service.faults`) is one such hook; it raises injected
+  exceptions, sleeps injected latency, and corrupts per-cell statistics
+  at named stages.
+
+This module deliberately sits at the top of the package with no
+dependencies beyond :mod:`repro.errors`, so every layer (histograms,
+sampling, datasets) can import it without cycles; the service layer
+composes on top.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .errors import EstimationTimeout
+
+__all__ = [
+    "Deadline",
+    "RuntimeScope",
+    "runtime_scope",
+    "active_deadline",
+    "checkpoint",
+    "mutate",
+]
+
+
+class Deadline:
+    """A monotonic-clock budget for one estimation call.
+
+    ``Deadline(0.25)`` expires 250 ms after construction;
+    ``Deadline(None)`` never expires (useful for uniform call sites).
+    """
+
+    __slots__ = ("seconds", "_expires_at")
+
+    def __init__(self, seconds: float | None) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self.seconds = seconds
+        self._expires_at = None if seconds is None else time.monotonic() + seconds
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for a never-expiring deadline)."""
+        if self._expires_at is None:
+            return float("inf")
+        return self._expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`EstimationTimeout` if the budget is exhausted."""
+        if self.expired:
+            raise EstimationTimeout(
+                f"estimation deadline of {self.seconds:g}s expired"
+                + (f" at stage {stage!r}" if stage else ""),
+                stage=stage or None,
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds!r}, remaining={self.remaining:.4g})"
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeScope:
+    """The runtime control installed for the current scope (immutable)."""
+
+    deadline: Deadline | None = None
+    hook: Any = None  #: object with optional on_checkpoint / on_mutate
+
+
+_ACTIVE: ContextVar[RuntimeScope | None] = ContextVar("repro_runtime_scope", default=None)
+
+
+@contextmanager
+def runtime_scope(
+    deadline: Deadline | None = None, hook: Any = None
+) -> Iterator[RuntimeScope]:
+    """Install a deadline and/or hook for the duration of the ``with`` body.
+
+    Scopes *compose*: a nested scope inherits the outer deadline/hook
+    for any slot it leaves as ``None``, so a fault-injection scope
+    around a deadline scope (or vice versa) behaves as both.
+    """
+    outer = _ACTIVE.get()
+    if outer is not None:
+        deadline = deadline if deadline is not None else outer.deadline
+        hook = hook if hook is not None else outer.hook
+    scope = RuntimeScope(deadline=deadline, hook=hook)
+    token = _ACTIVE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ACTIVE.reset(token)
+
+
+def active_deadline() -> Deadline | None:
+    """The deadline governing the current scope, if any."""
+    scope = _ACTIVE.get()
+    return scope.deadline if scope is not None else None
+
+
+def checkpoint(stage: str) -> None:
+    """Cooperative control point, called between stages of long operations.
+
+    Order matters: injected faults (exceptions, latency) fire *before*
+    the deadline check, so an injected latency that blows the budget is
+    observed by the same checkpoint — exactly how a real slow stage
+    would be caught.
+    """
+    scope = _ACTIVE.get()
+    if scope is None:
+        return
+    hook = scope.hook
+    if hook is not None:
+        on_checkpoint = getattr(hook, "on_checkpoint", None)
+        if on_checkpoint is not None:
+            on_checkpoint(stage)
+    if scope.deadline is not None:
+        scope.deadline.check(stage)
+
+
+def mutate(stage: str, value: Any) -> Any:
+    """Pass ``value`` through the active hook's ``on_mutate``, if any.
+
+    Build pipelines route their freshly computed per-cell statistics
+    through this so the fault harness can corrupt them at a named stage;
+    with no hook installed the value is returned untouched (and
+    unexamined), keeping the no-fault path bit-identical.
+    """
+    scope = _ACTIVE.get()
+    if scope is None or scope.hook is None:
+        return value
+    on_mutate = getattr(scope.hook, "on_mutate", None)
+    if on_mutate is None:
+        return value
+    return on_mutate(stage, value)

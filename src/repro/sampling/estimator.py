@@ -26,6 +26,7 @@ import numpy as np
 
 from ..datasets import SpatialDataset
 from ..rtree import DEFAULT_MAX_ENTRIES, RTree, bulk_load_str, rtree_join_count
+from ..runtime import checkpoint
 from .pickers import SAMPLING_METHODS, pick_sample_indices
 
 __all__ = [
@@ -145,21 +146,27 @@ class SamplingJoinEstimator:
             return SamplingEstimate(0.0, 0, 0, 0, SampleJoinTiming(0.0, 0.0, 0.0))
         rng = np.random.default_rng(self.seed)
 
+        # Cooperative checkpoints between the pick/build/join stages let a
+        # per-call deadline (and the fault harness) preempt the estimation.
         t0 = time.perf_counter()
+        checkpoint("sampling.pick")
         idx1 = pick_sample_indices(ds1, self.fraction1, self.method, rng)
         idx2 = pick_sample_indices(ds2, self.fraction2, self.method, rng)
         sample1 = ds1.rects[idx1]
         sample2 = ds2.rects[idx2]
         t1 = time.perf_counter()
+        checkpoint("sampling.build")
         if self.join_method == "rtree":
             tree1 = self._build_tree(sample1)
             tree2 = self._build_tree(sample2)
             t2 = time.perf_counter()
+            checkpoint("sampling.join")
             pairs = rtree_join_count(tree1, tree2)
         else:
             from ..join import plane_sweep_count
 
             t2 = time.perf_counter()
+            checkpoint("sampling.join")
             pairs = plane_sweep_count(sample1, sample2)
         t3 = time.perf_counter()
 

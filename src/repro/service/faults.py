@@ -1,0 +1,160 @@
+"""Deterministic fault injection for chaos-testing the estimation service.
+
+A :class:`FaultPlan` is a set of :class:`FaultSpec` rules keyed by
+checkpoint stage name (see :mod:`repro.runtime` for the stage inventory
+threaded through the GH/PH builds and the sampling join).  Installed via
+:func:`inject_faults`, the plan acts as the runtime hook: when a
+matching checkpoint fires it can
+
+* ``"error"`` — raise a configured exception (default
+  :class:`~repro.errors.TransientEstimationError`),
+* ``"latency"`` — sleep a configured number of seconds (so a deadline
+  at the same checkpoint observes the overrun exactly like a genuinely
+  slow stage), or
+* ``"corrupt"`` — rewrite the per-cell statistics passed through
+  :func:`repro.runtime.mutate` (default: poison them with NaN).
+
+Everything is deterministic: no randomness, faults fire on exact stage
+matches (or dotted-prefix matches, so ``"gh.build"`` covers
+``"gh.build.corners"`` etc.), each spec fires at most ``times`` times,
+and every activation is recorded on the plan for assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..errors import TransientEstimationError
+from ..runtime import runtime_scope
+
+__all__ = ["FaultSpec", "FaultPlan", "inject_faults", "nan_corruption"]
+
+_FAULT_KINDS = ("error", "latency", "corrupt")
+
+
+def nan_corruption(value: Any) -> Any:
+    """Default corruption: poison every float array in ``value`` with NaN.
+
+    Handles a bare ndarray or an arbitrarily nested tuple/list of them
+    (the shape the build pipelines pass through ``mutate``); scalars and
+    anything else pass through unchanged.
+    """
+    if isinstance(value, np.ndarray):
+        return np.full_like(value, np.nan)
+    if isinstance(value, (tuple, list)):
+        return type(value)(nan_corruption(v) for v in value)
+    return value
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule.
+
+    ``stage`` matches a checkpoint name exactly or as a dotted prefix
+    (``"gh.build"`` matches ``"gh.build.edges"``).  ``kind`` is one of
+    ``"error"`` / ``"latency"`` / ``"corrupt"``.  ``times`` bounds how
+    often the rule fires (``None`` = every time) — ``times=1`` models a
+    transient fault that a retry survives.
+    """
+
+    stage: str
+    kind: str = "error"
+    #: For ``"error"``: exception instance or zero-arg factory to raise.
+    exception: BaseException | Callable[[], BaseException] | None = None
+    #: For ``"latency"``: seconds to sleep at the checkpoint.
+    seconds: float = 0.0
+    #: For ``"corrupt"``: transformation applied to the mutated value.
+    corruption: Callable[[Any], Any] = nan_corruption
+    times: int | None = None
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {_FAULT_KINDS}")
+
+    def matches(self, stage: str) -> bool:
+        """True if this rule applies to ``stage`` and has firings left."""
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return stage == self.stage or stage.startswith(self.stage + ".")
+
+    def make_exception(self) -> BaseException:
+        """The exception to raise for an ``"error"`` activation."""
+        if self.exception is None:
+            return TransientEstimationError(f"injected fault at stage {self.stage!r}")
+        if isinstance(self.exception, BaseException):
+            return self.exception
+        return self.exception()
+
+
+@dataclass(frozen=True, slots=True)
+class FaultActivation:
+    """Record of one fault firing (stage it hit, rule, kind)."""
+
+    stage: str
+    spec_stage: str
+    kind: str
+
+
+class FaultPlan:
+    """A deterministic set of fault rules, usable as a runtime hook.
+
+    Iterate ``plan.activations`` after a run to see exactly which faults
+    fired and where — chaos tests assert on this to prove the resilient
+    chain visited (and survived) every rigged stage.
+    """
+
+    def __init__(self, specs: Iterator[FaultSpec] | list[FaultSpec] | tuple[FaultSpec, ...] = ()) -> None:
+        self.specs: list[FaultSpec] = list(specs)
+        self.activations: list[FaultActivation] = []
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a rule (chainable)."""
+        self.specs.append(spec)
+        return self
+
+    def reset(self) -> None:
+        """Clear firing counters and the activation log for reuse."""
+        for spec in self.specs:
+            spec.fired = 0
+        self.activations.clear()
+
+    # -- runtime hook protocol -----------------------------------------
+    def on_checkpoint(self, stage: str) -> None:
+        """Apply ``error``/``latency`` rules matching this checkpoint."""
+        for spec in self.specs:
+            if spec.kind == "corrupt" or not spec.matches(stage):
+                continue
+            spec.fired += 1
+            self.activations.append(FaultActivation(stage, spec.stage, spec.kind))
+            if spec.kind == "latency":
+                time.sleep(spec.seconds)
+            else:
+                raise spec.make_exception()
+
+    def on_mutate(self, stage: str, value: Any) -> Any:
+        """Apply ``corrupt`` rules to a value passing through ``mutate``."""
+        for spec in self.specs:
+            if spec.kind != "corrupt" or not spec.matches(stage):
+                continue
+            spec.fired += 1
+            self.activations.append(FaultActivation(stage, spec.stage, spec.kind))
+            value = spec.corruption(value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.specs)} specs, {len(self.activations)} activations)"
+
+
+def inject_faults(plan: FaultPlan):
+    """Install ``plan`` as the runtime hook for a ``with`` body.
+
+    Composes with any enclosing deadline scope (see
+    :func:`repro.runtime.runtime_scope`): faults fire first, then the
+    deadline is checked, at every cooperative checkpoint.
+    """
+    return runtime_scope(hook=plan)

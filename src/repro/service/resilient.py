@@ -1,0 +1,376 @@
+"""The resilient front door over the estimator registry.
+
+:class:`ResilientEstimator` turns a best-effort estimator into a
+budgeted, always-answers service call:
+
+1. **Validate** both inputs (:mod:`repro.service.validate`) — repair or
+   reject NaN/inf coordinates, inverted bounds, out-of-extent
+   rectangles, and mismatched universes before any estimator runs.
+2. **Budget** the call with a per-call :class:`~repro.runtime.Deadline`
+   enforced at the cooperative checkpoints threaded through the GH/PH
+   build loops and the sampling join.
+3. **Retry** transient faults (:class:`TransientEstimationError`) with
+   bounded exponential backoff.
+4. **Degrade** down a fallback chain — by default
+   ``GH(h) → GH(coarser) → PH → parametric`` — until a rung produces a
+   finite, non-negative estimate.  The final parametric rung is a
+   checkpoint-free closed form over first-order statistics, so it
+   cannot time out and cannot be fault-injected: the chain always
+   terminates with *some* answer.
+
+Every call yields a :class:`Provenance` record naming the rung that
+answered, every attempt made along the way, and what validation did.
+When no fault fires and no repair is needed, the answer is bit-identical
+to calling the primary estimator directly — the wrapper adds policy, not
+perturbation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.estimator import (
+    BasicGHEstimator,
+    GHEstimator,
+    JoinSelectivityEstimator,
+    ParametricEstimator,
+    PHEstimator,
+    SamplingEstimatorAdapter,
+    create_estimator,
+)
+from ..datasets import SpatialDataset
+from ..errors import (
+    DegradedResultWarning,
+    EstimationTimeout,
+    EstimatorUnavailable,
+    TransientEstimationError,
+)
+from ..runtime import Deadline, runtime_scope
+from .validate import VALIDATION_POLICIES, ValidationReport, validate_pair
+
+__all__ = [
+    "AttemptRecord",
+    "Provenance",
+    "ResilientResult",
+    "ResilientEstimator",
+    "default_fallback_chain",
+]
+
+#: How far the default chain coarsens a histogram level in one hop.
+_COARSEN_BY = 3
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptRecord:
+    """One attempt at one rung of the fallback chain.
+
+    ``outcome`` is ``"ok"``, ``"error"``, ``"timeout"``, or
+    ``"invalid-result"`` (the rung returned NaN/inf/negative — the
+    signature of corrupted statistics).
+    """
+
+    rung: str
+    rung_index: int
+    attempt: int
+    outcome: str
+    detail: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Who answered, and what it took to get the answer."""
+
+    rung: str  #: name of the estimator that produced the estimate
+    rung_index: int  #: 0 = the primary answered; >0 = a fallback did
+    degraded: bool  #: True when a fallback answered or inputs were repaired
+    attempts: tuple[AttemptRecord, ...]
+    validation: tuple[ValidationReport, ValidationReport] | None = None
+    reason: str = ""  #: why the primary did not answer (empty when it did)
+
+    @property
+    def attempts_total(self) -> int:
+        """Total attempts across all rungs (1 for a clean primary hit)."""
+        return len(self.attempts)
+
+
+@dataclass(frozen=True, slots=True)
+class ResilientResult:
+    """A guaranteed-finite estimate plus its provenance."""
+
+    selectivity: float
+    provenance: Provenance
+
+
+def _rung_name(estimator: JoinSelectivityEstimator) -> str:
+    """Stable display name for a rung (kind plus level when it has one)."""
+    level = getattr(estimator, "level", None)
+    return f"{estimator.name}(level={level})" if level is not None else estimator.name
+
+
+def default_fallback_chain(
+    primary: JoinSelectivityEstimator,
+) -> tuple[JoinSelectivityEstimator, ...]:
+    """The graceful-degradation ladder for a given primary estimator.
+
+    * GH (revised or basic) at level ``h`` → GH at a coarser level →
+      PH → parametric;
+    * PH at level ``h`` → PH at a coarser level → parametric;
+    * sampling → GH level 5 → parametric;
+    * parametric → (already the floor).
+
+    Each hop trades accuracy for cost and for independence from the
+    failed rung's machinery; the parametric closed form terminates every
+    chain because it needs nothing but four first-order statistics.
+    """
+    rungs: list[JoinSelectivityEstimator] = [primary]
+    if isinstance(primary, (GHEstimator, BasicGHEstimator)):
+        coarser = max(1, primary.level - _COARSEN_BY)
+        if coarser < primary.level:
+            rungs.append(GHEstimator(level=coarser))
+        rungs.append(PHEstimator(level=min(primary.level, 4)))
+    elif isinstance(primary, PHEstimator):
+        coarser = max(1, primary.level - _COARSEN_BY)
+        if coarser < primary.level:
+            rungs.append(PHEstimator(level=coarser))
+    elif isinstance(primary, SamplingEstimatorAdapter):
+        rungs.append(GHEstimator(level=5))
+    if not isinstance(primary, ParametricEstimator):
+        rungs.append(ParametricEstimator())
+    return tuple(rungs)
+
+
+def _invalid_reason(value: object) -> str | None:
+    """Why ``value`` is not an acceptable selectivity, or None if it is."""
+    if not isinstance(value, (int, float)):
+        return f"non-numeric result {type(value).__name__}"
+    if not math.isfinite(value):
+        return f"non-finite result {value!r}"
+    if value < 0:
+        return f"negative result {value!r}"
+    return None
+
+
+class ResilientEstimator(JoinSelectivityEstimator):
+    """Budgeted, validated, always-answers wrapper over any estimator.
+
+    Parameters
+    ----------
+    primary:
+        An estimator instance, or a registry kind name (``"gh"``,
+        ``"ph"``, ``"sampling"``, ...) built via ``create_estimator``
+        with the extra keyword arguments.
+    deadline_s:
+        Per-call wall-clock budget shared by the whole fallback chain
+        (``None`` = unbudgeted).  Enforced cooperatively at the
+        checkpoints inside histogram builds and the sampling join.
+    retries:
+        Extra attempts per rung for *transient* faults only.
+    backoff_s:
+        Sleep before the first retry; doubles per subsequent retry.
+    chain:
+        Explicit fallback ladder (the primary is **not** implicitly
+        prepended).  Defaults to :func:`default_fallback_chain`.
+    validation:
+        ``"repair"`` (default) fixes what it can and records it;
+        ``"strict"`` raises :class:`InvalidDatasetError` on bad input
+        instead of estimating.
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        primary: JoinSelectivityEstimator | str = "gh",
+        *,
+        deadline_s: float | None = None,
+        retries: int = 1,
+        backoff_s: float = 0.0,
+        chain: Sequence[JoinSelectivityEstimator] | None = None,
+        validation: str = "repair",
+        **primary_kwargs: object,
+    ) -> None:
+        if isinstance(primary, str):
+            primary = create_estimator(primary, **primary_kwargs)
+        elif primary_kwargs:
+            raise ValueError("primary kwargs are only valid with a kind name")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        self.primary = primary
+        self.deadline_s = deadline_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.chain: tuple[JoinSelectivityEstimator, ...] = (
+            tuple(chain) if chain is not None else default_fallback_chain(primary)
+        )
+        if not self.chain:
+            raise ValueError("fallback chain must have at least one rung")
+        if validation not in VALIDATION_POLICIES:
+            raise ValueError(
+                f"unknown validation policy {validation!r}; "
+                f"choose from {VALIDATION_POLICIES}"
+            )
+        self.validation = validation
+
+    def __repr__(self) -> str:
+        rungs = " -> ".join(_rung_name(r) for r in self.chain)
+        return f"ResilientEstimator({rungs}, deadline_s={self.deadline_s})"
+
+    # ------------------------------------------------------------------
+    def estimate(self, ds1: SpatialDataset, ds2: SpatialDataset) -> float:
+        """The resilient estimate (see :meth:`estimate_detailed`)."""
+        return self.estimate_detailed(ds1, ds2).selectivity
+
+    def estimate_detailed(
+        self, ds1: SpatialDataset, ds2: SpatialDataset
+    ) -> ResilientResult:
+        """Validate, budget, retry, and degrade until an answer emerges.
+
+        Never raises for malformed data, injected faults, corrupted
+        statistics, or expired deadlines (under the default ``"repair"``
+        policy; ``"strict"`` lets validation errors surface).  The
+        returned selectivity is always finite and ``>= 0``.
+        """
+        ds1, ds2, report1, report2 = validate_pair(ds1, ds2, policy=self.validation)
+        deadline = Deadline(self.deadline_s) if self.deadline_s is not None else None
+        attempts: list[AttemptRecord] = []
+
+        for index, rung in enumerate(self.chain):
+            value = self._run_rung(rung, index, ds1, ds2, deadline, attempts)
+            if value is not None:
+                return self._finish(value, rung, index, attempts, (report1, report2))
+        # Every rung failed (only reachable when even the closed-form
+        # floor was rigged to fail): answer the defined-empty semantics
+        # rather than surfacing an exception.
+        provenance = Provenance(
+            rung="zero-floor",
+            rung_index=len(self.chain),
+            degraded=True,
+            attempts=tuple(attempts),
+            validation=(report1, report2),
+            reason=self._failure_reason(attempts, len(self.chain)),
+        )
+        self._warn(provenance)
+        return ResilientResult(0.0, provenance)
+
+    # ------------------------------------------------------------------
+    def _run_rung(
+        self,
+        rung: JoinSelectivityEstimator,
+        index: int,
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        deadline: Deadline | None,
+        attempts: list[AttemptRecord],
+    ) -> float | None:
+        """Run one rung with retry-on-transient; None means move on."""
+        name = _rung_name(rung)
+        for attempt in range(1 + self.retries):
+            started = time.perf_counter()
+            try:
+                with runtime_scope(deadline=deadline):
+                    value = rung.estimate(ds1, ds2)
+                bad = _invalid_reason(value)
+                if bad is not None:
+                    raise EstimatorUnavailable(f"rung {name} produced {bad}")
+            except EstimationTimeout as exc:
+                attempts.append(
+                    AttemptRecord(
+                        name, index, attempt + 1, "timeout", str(exc),
+                        time.perf_counter() - started,
+                    )
+                )
+                return None  # budget is gone; retrying cannot help
+            except TransientEstimationError as exc:
+                attempts.append(
+                    AttemptRecord(
+                        name, index, attempt + 1, "error", str(exc),
+                        time.perf_counter() - started,
+                    )
+                )
+                if attempt < self.retries:
+                    self._backoff(attempt, deadline)
+                    continue
+                return None
+            except EstimatorUnavailable as exc:
+                attempts.append(
+                    AttemptRecord(
+                        name, index, attempt + 1, "invalid-result", str(exc),
+                        time.perf_counter() - started,
+                    )
+                )
+                return None
+            except Exception as exc:  # noqa: BLE001 — the chain is the handler
+                attempts.append(
+                    AttemptRecord(
+                        name, index, attempt + 1, "error",
+                        f"{type(exc).__name__}: {exc}",
+                        time.perf_counter() - started,
+                    )
+                )
+                return None
+            else:
+                attempts.append(
+                    AttemptRecord(
+                        name, index, attempt + 1, "ok", "",
+                        time.perf_counter() - started,
+                    )
+                )
+                return float(value)
+        return None
+
+    def _backoff(self, attempt: int, deadline: Deadline | None) -> None:
+        """Sleep before a retry, capped by the remaining budget."""
+        if self.backoff_s <= 0:
+            return
+        pause = self.backoff_s * (2**attempt)
+        if deadline is not None:
+            pause = min(pause, max(0.0, deadline.remaining))
+        if pause > 0:
+            time.sleep(pause)
+
+    @staticmethod
+    def _failure_reason(attempts: list[AttemptRecord], before_index: int) -> str:
+        """Digest of why rungs before ``before_index`` failed."""
+        failed = [a for a in attempts if a.rung_index < before_index and a.outcome != "ok"]
+        if not failed:
+            return ""
+        last = failed[-1]
+        return f"{last.rung} {last.outcome}: {last.detail}" if last.detail else f"{last.rung} {last.outcome}"
+
+    def _finish(
+        self,
+        value: float,
+        rung: JoinSelectivityEstimator,
+        index: int,
+        attempts: list[AttemptRecord],
+        reports: tuple[ValidationReport, ValidationReport],
+    ) -> ResilientResult:
+        repaired = reports[0].repaired or reports[1].repaired
+        provenance = Provenance(
+            rung=_rung_name(rung),
+            rung_index=index,
+            degraded=index > 0 or repaired,
+            attempts=tuple(attempts),
+            validation=reports,
+            reason=self._failure_reason(attempts, index),
+        )
+        if provenance.degraded:
+            self._warn(provenance)
+        return ResilientResult(value, provenance)
+
+    @staticmethod
+    def _warn(provenance: Provenance) -> None:
+        detail = f" ({provenance.reason})" if provenance.reason else ""
+        warnings.warn(
+            f"estimation degraded: answered by {provenance.rung}"
+            f" at rung {provenance.rung_index}{detail}",
+            DegradedResultWarning,
+            stacklevel=4,
+        )

@@ -1,0 +1,341 @@
+"""Input validation and repair for the estimation service.
+
+Every estimator in the library assumes well-formed inputs: finite
+coordinates, ``min <= max`` per axis, rectangles inside the declared
+extent, a positive-area extent shared by both join partners.  This
+module is the front door that *establishes* those invariants before any
+estimator runs, under one of two policies:
+
+* ``"strict"`` — any violation raises
+  :class:`~repro.errors.InvalidDatasetError` with a precise message;
+* ``"repair"`` — fixable violations are repaired (inverted bounds
+  swapped, out-of-extent rectangles clipped, non-finite rows dropped,
+  mismatched extents widened to the common bounding extent) and every
+  action is recorded in a :class:`ValidationReport`.
+
+The repair path never invents data — rows that cannot be interpreted
+(any NaN or infinite coordinate) are dropped, not patched.  A dataset
+that validates clean is passed through **as the same object**, so a
+validated no-repair call is bit-identical to an unvalidated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import SpatialDataset
+from ..errors import InvalidDatasetError
+from ..geometry import Rect, RectArray
+
+__all__ = [
+    "VALIDATION_POLICIES",
+    "ValidationIssue",
+    "ValidationReport",
+    "check_coords",
+    "coerce_dataset",
+    "validate_dataset",
+    "validate_pair",
+]
+
+#: Accepted values for the ``policy`` argument of the validators.
+VALIDATION_POLICIES = ("strict", "repair")
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One class of problem found in (and possibly repaired out of) an input.
+
+    ``code`` is a stable machine-readable slug (``"nonfinite-coords"``,
+    ``"inverted-bounds"``, ``"outside-extent"``, ``"bad-extent"``,
+    ``"extent-mismatch"``, ``"empty-dataset"``); ``count`` is the number
+    of affected rectangles (0 for dataset-level issues); ``repaired``
+    says whether the repair policy fixed it or merely observed it.
+    """
+
+    code: str
+    message: str
+    count: int = 0
+    repaired: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """Everything the validation pass found and did for one dataset."""
+
+    dataset: str
+    issues: tuple[ValidationIssue, ...] = ()
+    dropped: int = 0  #: rows removed (non-finite coordinates)
+
+    @property
+    def ok(self) -> bool:
+        """True when the input was already clean (nothing found)."""
+        return not self.issues
+
+    @property
+    def repaired(self) -> bool:
+        """True when at least one issue was repaired."""
+        return any(issue.repaired for issue in self.issues)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (for provenance records)."""
+        if self.ok:
+            return f"{self.dataset}: clean"
+        parts = ", ".join(f"{i.code}({i.count})" for i in self.issues)
+        return f"{self.dataset}: {parts}"
+
+
+def _check_policy(policy: str) -> None:
+    if policy not in VALIDATION_POLICIES:
+        raise ValueError(
+            f"unknown validation policy {policy!r}; choose from {VALIDATION_POLICIES}"
+        )
+
+
+def check_coords(coords: np.ndarray) -> list[ValidationIssue]:
+    """Inspect an ``(n, 4)`` coordinate array without modifying it.
+
+    Returns the issues present (non-finite rows, inverted bounds); an
+    empty list means the array is clean.  Shape errors raise
+    :class:`InvalidDatasetError` immediately — there is no sensible
+    repair for a wrong-shaped payload.
+    """
+    arr = np.asarray(coords, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise InvalidDatasetError(
+            f"coordinate array must have shape (n, 4), got {arr.shape}"
+        )
+    issues: list[ValidationIssue] = []
+    nonfinite = ~np.isfinite(arr).all(axis=1)
+    n_bad = int(nonfinite.sum())
+    if n_bad:
+        issues.append(
+            ValidationIssue(
+                "nonfinite-coords",
+                f"{n_bad} rectangle(s) with NaN/inf coordinates",
+                count=n_bad,
+            )
+        )
+    finite = arr[~nonfinite]
+    inverted = (finite[:, 0] > finite[:, 2]) | (finite[:, 1] > finite[:, 3])
+    n_inv = int(inverted.sum())
+    if n_inv:
+        issues.append(
+            ValidationIssue(
+                "inverted-bounds",
+                f"{n_inv} rectangle(s) with min > max",
+                count=n_inv,
+            )
+        )
+    return issues
+
+
+def _repair_extent(extent: Rect | None, coords: np.ndarray, name: str) -> tuple[Rect, list[ValidationIssue]]:
+    """Produce a usable positive-area extent, deriving one if needed."""
+    issues: list[ValidationIssue] = []
+    if extent is not None:
+        values = extent.as_tuple()
+        if all(np.isfinite(values)) and extent.width > 0 and extent.height > 0:
+            return extent, issues
+        issues.append(
+            ValidationIssue(
+                "bad-extent",
+                f"extent {values} is degenerate or non-finite; rederived from data",
+                repaired=True,
+            )
+        )
+    if len(coords):
+        xmin = float(coords[:, 0].min())
+        ymin = float(coords[:, 1].min())
+        xmax = float(coords[:, 2].max())
+        ymax = float(coords[:, 3].max())
+        # Data that is all one point/line still needs a positive-area universe.
+        if xmax <= xmin:
+            xmax = xmin + max(abs(xmin), 1.0)
+        if ymax <= ymin:
+            ymax = ymin + max(abs(ymin), 1.0)
+        return Rect(xmin, ymin, xmax, ymax), issues
+    return Rect.unit(), issues
+
+
+def coerce_dataset(
+    name: str,
+    coords: np.ndarray,
+    extent: Rect | None = None,
+    *,
+    policy: str = "repair",
+) -> tuple[SpatialDataset, ValidationReport]:
+    """Build a :class:`SpatialDataset` from an *untrusted* coordinate array.
+
+    Under ``"strict"`` any issue raises :class:`InvalidDatasetError`.
+    Under ``"repair"``: non-finite rows are dropped, inverted bounds are
+    swapped per axis, rectangles straying outside the declared extent
+    are clipped to it (rows entirely outside are kept as degenerate
+    boundary slivers after clipping — they still intersect the extent
+    edge), and a missing/degenerate extent is derived from the data.
+    Returns the dataset plus the :class:`ValidationReport` of what
+    happened.
+    """
+    _check_policy(policy)
+    arr = np.array(coords, dtype=np.float64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 4)
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise InvalidDatasetError(
+            f"dataset {name!r}: coordinate array must have shape (n, 4), got {arr.shape}"
+        )
+    issues = check_coords(arr)
+    if policy == "strict" and issues:
+        raise InvalidDatasetError(f"dataset {name!r}: {issues[0].message}")
+
+    dropped = 0
+    keep = np.isfinite(arr).all(axis=1)
+    if not keep.all():
+        dropped = int((~keep).sum())
+        arr = arr[keep]
+    # Swap inverted bounds axis-by-axis (a pure transposition error).
+    xlo = np.minimum(arr[:, 0], arr[:, 2])
+    xhi = np.maximum(arr[:, 0], arr[:, 2])
+    ylo = np.minimum(arr[:, 1], arr[:, 3])
+    yhi = np.maximum(arr[:, 1], arr[:, 3])
+    arr = np.column_stack([xlo, ylo, xhi, yhi])
+
+    extent, extent_issues = _repair_extent(extent, arr, name)
+    issues = list(issues) + extent_issues
+    if policy == "strict" and extent_issues:
+        raise InvalidDatasetError(f"dataset {name!r}: {extent_issues[0].message}")
+
+    if len(arr):
+        outside = (
+            (arr[:, 0] < extent.xmin)
+            | (arr[:, 1] < extent.ymin)
+            | (arr[:, 2] > extent.xmax)
+            | (arr[:, 3] > extent.ymax)
+        )
+        n_out = int(outside.sum())
+        if n_out:
+            if policy == "strict":
+                raise InvalidDatasetError(
+                    f"dataset {name!r}: {n_out} rectangle(s) outside the declared extent"
+                )
+            arr[:, 0] = np.clip(arr[:, 0], extent.xmin, extent.xmax)
+            arr[:, 1] = np.clip(arr[:, 1], extent.ymin, extent.ymax)
+            arr[:, 2] = np.clip(arr[:, 2], extent.xmin, extent.xmax)
+            arr[:, 3] = np.clip(arr[:, 3], extent.ymin, extent.ymax)
+            issues.append(
+                ValidationIssue(
+                    "outside-extent",
+                    f"{n_out} rectangle(s) clipped to the declared extent",
+                    count=n_out,
+                    repaired=True,
+                )
+            )
+
+    if not len(arr):
+        issues.append(
+            ValidationIssue(
+                "empty-dataset",
+                "dataset has no (usable) rectangles; selectivity is defined as 0",
+                repaired=False,
+            )
+        )
+
+    # Mark the drop/swap issues as repaired now that they have been.
+    issues = [
+        ValidationIssue(i.code, i.message, i.count, repaired=True)
+        if i.code in ("nonfinite-coords", "inverted-bounds")
+        else i
+        for i in issues
+    ]
+    dataset = SpatialDataset(name, RectArray.from_coords(arr), extent)
+    return dataset, ValidationReport(name, tuple(issues), dropped=dropped)
+
+
+def validate_dataset(
+    dataset: SpatialDataset, *, policy: str = "repair"
+) -> tuple[SpatialDataset, ValidationReport]:
+    """Validate an already-constructed dataset.
+
+    :class:`SpatialDataset` construction rejects NaN and inverted bounds
+    outright, so the residual risks here are infinite coordinates
+    (``inf`` passes the NaN check), emptiness, and callers that built
+    their :class:`RectArray` with ``validate=False``.  A clean dataset
+    is returned **unchanged** (the identical object), so the validated
+    fast path adds no perturbation.
+    """
+    _check_policy(policy)
+    rects = dataset.rects
+    coords = np.column_stack([rects.xmin, rects.ymin, rects.xmax, rects.ymax]) if len(
+        rects
+    ) else np.empty((0, 4))
+    finite = bool(np.isfinite(coords).all()) if len(rects) else True
+    inverted = (
+        bool(((rects.xmin > rects.xmax) | (rects.ymin > rects.ymax)).any())
+        if len(rects)
+        else False
+    )
+    extent_ok = (
+        all(np.isfinite(dataset.extent.as_tuple()))
+        and dataset.extent.width > 0
+        and dataset.extent.height > 0
+    )
+    if finite and not inverted and extent_ok:
+        issues: tuple[ValidationIssue, ...] = ()
+        if len(rects) == 0:
+            issues = (
+                ValidationIssue(
+                    "empty-dataset",
+                    "dataset has no rectangles; selectivity is defined as 0",
+                ),
+            )
+        return dataset, ValidationReport(dataset.name, issues)
+    if policy == "strict":
+        problem = (
+            "non-finite coordinates"
+            if not finite
+            else "inverted bounds"
+            if inverted
+            else "degenerate or non-finite extent"
+        )
+        raise InvalidDatasetError(f"dataset {dataset.name!r}: {problem}")
+    return coerce_dataset(
+        dataset.name,
+        coords,
+        dataset.extent if extent_ok else None,
+        policy="repair",
+    )
+
+
+def validate_pair(
+    ds1: SpatialDataset, ds2: SpatialDataset, *, policy: str = "repair"
+) -> tuple[SpatialDataset, SpatialDataset, ValidationReport, ValidationReport]:
+    """Validate both join partners and reconcile their extents.
+
+    Estimators require a shared universe.  Under ``"repair"`` a mismatch
+    is resolved by re-declaring both datasets over the union of the two
+    extents (the smallest universe containing both declarations); under
+    ``"strict"`` it raises :class:`InvalidDatasetError`.  Clean, already
+    matching inputs pass through as the same objects.
+    """
+    _check_policy(policy)
+    ds1, report1 = validate_dataset(ds1, policy=policy)
+    ds2, report2 = validate_dataset(ds2, policy=policy)
+    if ds1.extent != ds2.extent:
+        if policy == "strict":
+            raise InvalidDatasetError(
+                f"datasets {ds1.name!r} and {ds2.name!r} declare different extents"
+            )
+        shared = ds1.extent.union(ds2.extent)
+        issue = ValidationIssue(
+            "extent-mismatch",
+            f"extents reconciled to union {shared.as_tuple()}",
+            repaired=True,
+        )
+        ds1 = ds1.with_extent(shared)
+        ds2 = ds2.with_extent(shared)
+        report1 = ValidationReport(report1.dataset, report1.issues + (issue,), report1.dropped)
+        report2 = ValidationReport(report2.dataset, report2.issues + (issue,), report2.dropped)
+    return ds1, ds2, report1, report2

@@ -1,0 +1,124 @@
+"""Degenerate-input coverage across every estimator kind (ISSUE 1).
+
+Every registry estimator must survive — with defined semantics, not
+crashes — the edge inputs a production service will inevitably see:
+empty datasets, single rectangles, zero-area rectangles (points and
+segments), and rectangles hugging the extent boundary.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ESTIMATOR_KINDS, create_estimator
+from repro.datasets import SpatialDataset
+from repro.geometry import Rect, RectArray
+from tests.conftest import random_rects
+
+#: Constructor arguments making each kind fast and deterministic.
+KIND_KWARGS = {
+    "parametric": {},
+    "ph": {"level": 3},
+    "gh": {"level": 3},
+    "gh_basic": {"level": 3},
+    "sampling": {"method": "rs", "fraction1": 1.0, "fraction2": 1.0},
+    "resilient": {"primary": "gh", "level": 3},
+}
+
+
+def make_estimator(kind):
+    """Instantiate a registry kind with its fast test configuration."""
+    return create_estimator(kind, **KIND_KWARGS[kind])
+
+
+def test_kwargs_cover_registry():
+    # If a new kind joins the registry this file must learn about it.
+    assert set(KIND_KWARGS) == set(ESTIMATOR_KINDS)
+
+
+EMPTY = SpatialDataset("empty", RectArray.empty(), Rect.unit())
+SINGLE = SpatialDataset(
+    "single", RectArray.from_coords([[0.4, 0.4, 0.6, 0.6]]), Rect.unit()
+)
+
+
+@pytest.mark.parametrize("kind", sorted(ESTIMATOR_KINDS))
+class TestEmptyDatasets:
+    def test_both_empty(self, kind):
+        assert make_estimator(kind).estimate(EMPTY, EMPTY) == 0.0
+
+    def test_one_empty(self, kind):
+        assert make_estimator(kind).estimate(EMPTY, SINGLE) == 0.0
+        assert make_estimator(kind).estimate(SINGLE, EMPTY) == 0.0
+
+    def test_pairs_zero(self, kind):
+        assert make_estimator(kind).estimate_pairs(EMPTY, SINGLE) == 0.0
+
+
+@pytest.mark.parametrize("kind", sorted(ESTIMATOR_KINDS))
+class TestSingleRect:
+    def test_identical_singles(self, kind):
+        value = make_estimator(kind).estimate(SINGLE, SINGLE)
+        assert math.isfinite(value) and value >= 0.0
+
+    def test_disjoint_singles(self, kind):
+        other = SpatialDataset(
+            "other", RectArray.from_coords([[0.0, 0.0, 0.1, 0.1]]), Rect.unit()
+        )
+        value = make_estimator(kind).estimate(SINGLE, other)
+        assert math.isfinite(value) and value >= 0.0
+
+
+@pytest.mark.parametrize("kind", sorted(ESTIMATOR_KINDS))
+class TestZeroAreaRects:
+    def test_point_datasets(self, kind, rng):
+        # Pure point data (the paper's SP dataset is points).
+        x = rng.uniform(0.05, 0.95, size=40)
+        y = rng.uniform(0.05, 0.95, size=40)
+        points = SpatialDataset("pts", RectArray.from_points(x, y), Rect.unit())
+        boxes = SpatialDataset("boxes", random_rects(rng, 40), Rect.unit())
+        value = make_estimator(kind).estimate(points, boxes)
+        assert math.isfinite(value) and value >= 0.0
+
+    def test_segment_datasets(self, kind, rng):
+        # Zero-height horizontal segments (degenerate rectangles).
+        x0 = rng.uniform(0.0, 0.8, size=30)
+        y = rng.uniform(0.05, 0.95, size=30)
+        segments = SpatialDataset(
+            "segs", RectArray(x0, y, x0 + 0.1, y), Rect.unit()
+        )
+        value = make_estimator(kind).estimate(segments, segments)
+        assert math.isfinite(value) and value >= 0.0
+
+
+@pytest.mark.parametrize("kind", sorted(ESTIMATOR_KINDS))
+class TestExtentBoundaryRects:
+    def test_rects_on_every_extent_edge(self, kind):
+        # Rectangles flush with each extent edge, plus one covering the
+        # whole universe: grid binning must keep the far edges in range.
+        coords = [
+            [0.0, 0.0, 0.2, 0.2],  # bottom-left corner
+            [0.8, 0.8, 1.0, 1.0],  # top-right corner
+            [0.0, 0.4, 0.1, 0.6],  # left edge
+            [0.9, 0.4, 1.0, 0.6],  # right edge
+            [0.4, 0.0, 0.6, 0.1],  # bottom edge
+            [0.4, 0.9, 0.6, 1.0],  # top edge
+            [0.0, 0.0, 1.0, 1.0],  # the full universe
+        ]
+        boundary = SpatialDataset(
+            "edges", RectArray.from_coords(coords), Rect.unit()
+        )
+        value = make_estimator(kind).estimate(boundary, boundary)
+        assert math.isfinite(value) and value >= 0.0
+
+    def test_corner_points(self, kind):
+        corners = SpatialDataset(
+            "corners",
+            RectArray.from_points(
+                np.array([0.0, 1.0, 0.0, 1.0]), np.array([0.0, 0.0, 1.0, 1.0])
+            ),
+            Rect.unit(),
+        )
+        value = make_estimator(kind).estimate(corners, SINGLE)
+        assert math.isfinite(value) and value >= 0.0

@@ -80,7 +80,11 @@ class TestPreparedTwoPhase:
 
 class TestRegistry:
     def test_kinds(self):
-        assert set(ESTIMATOR_KINDS) == {"parametric", "ph", "gh", "gh_basic", "sampling"}
+        # "resilient" joins the registry when repro.service is imported
+        # (which importing the top-level ``repro`` package does).
+        assert set(ESTIMATOR_KINDS) == {
+            "parametric", "ph", "gh", "gh_basic", "sampling", "resilient",
+        }
 
     def test_create_each_kind(self):
         assert isinstance(create_estimator("parametric"), ParametricEstimator)

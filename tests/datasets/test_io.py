@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, load_dataset, save_dataset
+from repro.errors import InvalidDatasetError
 from repro.geometry import Rect, RectArray
 from tests.conftest import random_rects
 
@@ -56,3 +57,79 @@ class TestVersioning:
         np.savez(path, **blob)
         with pytest.raises(ValueError, match="version"):
             load_dataset(path)
+
+
+def _tampered(path, tmp_path, **changes):
+    """Rewrite a saved dataset file with keys replaced or removed."""
+    blob = dict(np.load(path, allow_pickle=False))
+    for key, value in changes.items():
+        if value is None:
+            del blob[key]
+        else:
+            blob[key] = value
+    out = tmp_path / "tampered.npz"
+    np.savez(out, **blob)
+    return out
+
+
+class TestMalformedFiles:
+    """Malformed .npz drop-ins raise InvalidDatasetError, not KeyError."""
+
+    @pytest.fixture
+    def saved(self, rng, tmp_path):
+        ds = SpatialDataset("m", random_rects(rng, 8))
+        return save_dataset(ds, tmp_path / "m.npz")
+
+    @pytest.mark.parametrize("key", ["version", "name", "coords", "extent"])
+    def test_missing_key(self, saved, tmp_path, key):
+        bad = _tampered(saved, tmp_path, **{key: None})
+        with pytest.raises(InvalidDatasetError, match="missing required key"):
+            load_dataset(bad)
+
+    def test_missing_key_is_a_value_error(self, saved, tmp_path):
+        # Not a KeyError: callers catching ValueError keep working.
+        bad = _tampered(saved, tmp_path, coords=None)
+        with pytest.raises(ValueError):
+            load_dataset(bad)
+
+    def test_nan_coords_rejected(self, saved, tmp_path):
+        coords = np.array([[0.1, 0.1, np.nan, 0.2]])
+        bad = _tampered(saved, tmp_path, coords=coords)
+        with pytest.raises(InvalidDatasetError, match="NaN/inf"):
+            load_dataset(bad)
+
+    def test_inf_coords_rejected(self, saved, tmp_path):
+        coords = np.array([[0.1, 0.1, np.inf, 0.2]])
+        bad = _tampered(saved, tmp_path, coords=coords)
+        with pytest.raises(InvalidDatasetError, match="NaN/inf"):
+            load_dataset(bad)
+
+    def test_inverted_coords_rejected(self, saved, tmp_path):
+        coords = np.array([[0.9, 0.1, 0.2, 0.2]])  # xmin > xmax
+        bad = _tampered(saved, tmp_path, coords=coords)
+        with pytest.raises(InvalidDatasetError):
+            load_dataset(bad)
+
+    def test_wrong_coords_shape_rejected(self, saved, tmp_path):
+        bad = _tampered(saved, tmp_path, coords=np.ones((4, 3)))
+        with pytest.raises(InvalidDatasetError, match="shape"):
+            load_dataset(bad)
+
+    def test_malformed_extent_rejected(self, saved, tmp_path):
+        bad = _tampered(saved, tmp_path, extent=np.array([0.0, 0.0, np.nan, 1.0]))
+        with pytest.raises(InvalidDatasetError, match="extent"):
+            load_dataset(bad)
+
+    def test_inverted_extent_rejected(self, saved, tmp_path):
+        bad = _tampered(saved, tmp_path, extent=np.array([1.0, 0.0, 0.0, 1.0]))
+        with pytest.raises(InvalidDatasetError):
+            load_dataset(bad)
+
+    def test_coords_outside_extent_rejected(self, saved, tmp_path):
+        bad = _tampered(
+            saved, tmp_path,
+            coords=np.array([[2.0, 2.0, 3.0, 3.0]]),
+            extent=np.array([0.0, 0.0, 1.0, 1.0]),
+        )
+        with pytest.raises(InvalidDatasetError, match="extent"):
+            load_dataset(bad)

@@ -16,6 +16,39 @@ class TestParseLevels:
         assert _parse_levels("5") == [5]
 
 
+class TestBadArgumentsExitCleanly:
+    """Bad --levels/--scale specs exit with code 2 and one line, not a
+    traceback (ISSUE 1 CLI hardening)."""
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["fig7", "--levels", "abc"],
+            ["fig7", "--levels", "9-3"],      # empty range
+            ["fig7", "--levels", ","],         # selects nothing
+            ["fig7", "--levels", "0-99"],      # beyond MAX_LEVEL
+            ["fig7", "--scale", "zero"],
+            ["fig7", "--scale", "0"],
+            ["fig7", "--scale", "-5"],
+            ["fig7", "--scale", "inf"],
+            ["fig7", "--scale", "nan"],
+        ],
+    )
+    def test_exit_code_2_one_line_message(self, args, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(args)
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        # argparse prints usage plus exactly one error line.
+        error_lines = [l for l in err.splitlines() if "error:" in l]
+        assert len(error_lines) == 1
+        flag = args[1]
+        assert flag.lstrip("-") in error_lines[0] or flag in error_lines[0]
+
+    def test_good_args_still_parse(self):
+        assert _parse_levels("0-2") == [0, 1, 2]
+
+
 @pytest.mark.slow
 class TestMain:
     """End-to-end CLI runs at an aggressive scale (tiny datasets)."""

@@ -1,0 +1,155 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationTimeout, TransientEstimationError
+from repro.runtime import Deadline, checkpoint, mutate, runtime_scope
+from repro.service import FaultPlan, FaultSpec, inject_faults, nan_corruption
+
+
+class TestFaultSpec:
+    def test_exact_and_prefix_matching(self):
+        spec = FaultSpec("gh.build")
+        assert spec.matches("gh.build")
+        assert spec.matches("gh.build.corners")
+        assert not spec.matches("gh.builder")  # prefix must be dotted
+        assert not spec.matches("ph.build")
+
+    def test_times_bounds_firing(self):
+        spec = FaultSpec("s", times=1)
+        assert spec.matches("s")
+        spec.fired = 1
+        assert not spec.matches("s")
+
+    def test_default_exception_is_transient(self):
+        exc = FaultSpec("s").make_exception()
+        assert isinstance(exc, TransientEstimationError)
+
+    def test_custom_exception_factory(self):
+        spec = FaultSpec("s", exception=lambda: RuntimeError("custom"))
+        assert str(spec.make_exception()) == "custom"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec("s", kind="meteor")
+
+
+class TestFaultPlan:
+    def test_error_injection_at_checkpoint(self):
+        plan = FaultPlan([FaultSpec("gh.build")])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError, match="injected"):
+                checkpoint("gh.build.corners")
+        assert len(plan.activations) == 1
+        assert plan.activations[0].stage == "gh.build.corners"
+
+    def test_unmatched_stage_untouched(self):
+        plan = FaultPlan([FaultSpec("gh.build")])
+        with inject_faults(plan):
+            checkpoint("ph.build.contained")  # no raise
+        assert plan.activations == []
+
+    def test_times_one_models_transient(self):
+        plan = FaultPlan([FaultSpec("s", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                checkpoint("s")
+            checkpoint("s")  # second hit passes: the fault was transient
+        assert len(plan.activations) == 1
+
+    def test_latency_observed_by_deadline(self):
+        plan = FaultPlan([FaultSpec("slow", kind="latency", seconds=0.02)])
+        with runtime_scope(deadline=Deadline(0.005)):
+            with inject_faults(plan):
+                with pytest.raises(EstimationTimeout):
+                    checkpoint("slow")
+
+    def test_corruption_via_mutate(self):
+        plan = FaultPlan([FaultSpec("cells", kind="corrupt")])
+        arrays = (np.ones(4), np.ones(4))
+        with inject_faults(plan):
+            out = mutate("cells", arrays)
+        assert all(np.isnan(a).all() for a in out)
+        # corrupt rules never fire at plain checkpoints
+        plan.reset()
+        with inject_faults(plan):
+            checkpoint("cells")
+        assert plan.activations == []
+
+    def test_custom_corruption(self):
+        plan = FaultPlan([FaultSpec("c", kind="corrupt", corruption=lambda v: v * -1)])
+        with inject_faults(plan):
+            assert mutate("c", 5) == -5
+
+    def test_reset_clears_counters_and_log(self):
+        plan = FaultPlan([FaultSpec("s", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                checkpoint("s")
+        plan.reset()
+        assert plan.activations == []
+        assert plan.specs[0].fired == 0
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                checkpoint("s")
+
+
+class TestNanCorruption:
+    def test_arrays_and_nesting(self):
+        out = nan_corruption((np.ones(3), [np.zeros(2)]))
+        assert np.isnan(out[0]).all()
+        assert np.isnan(out[1][0]).all()
+
+    def test_non_arrays_pass_through(self):
+        assert nan_corruption("scalar") == "scalar"
+
+
+class TestBuildPipelinesCarryHooks:
+    """The named stages are actually wired through the real builds."""
+
+    def test_gh_build_stage_fires(self, rng):
+        from repro.datasets import SpatialDataset
+        from repro.histograms import GHHistogram
+        from tests.conftest import random_rects
+
+        ds = SpatialDataset("d", random_rects(rng, 30))
+        plan = FaultPlan([FaultSpec("gh.build.edges")])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                GHHistogram.build(ds, 3)
+
+    def test_gh_corruption_poisons_estimate(self, rng):
+        from repro.datasets import SpatialDataset
+        from repro.histograms import GHHistogram
+        from tests.conftest import random_rects
+
+        ds = SpatialDataset("d", random_rects(rng, 30))
+        plan = FaultPlan([FaultSpec("gh.build.cells", kind="corrupt")])
+        with inject_faults(plan):
+            h = GHHistogram.build(ds, 3)
+        assert np.isnan(h.estimate_selectivity(h))
+
+    def test_ph_build_stage_fires(self, rng):
+        from repro.datasets import SpatialDataset
+        from repro.histograms import PHHistogram
+        from tests.conftest import random_rects
+
+        ds = SpatialDataset("d", random_rects(rng, 30))
+        plan = FaultPlan([FaultSpec("ph.build.contained")])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                PHHistogram.build(ds, 3)
+
+    def test_sampling_stages_fire_in_order(self, rng):
+        from repro.datasets import SpatialDataset
+        from repro.sampling import SamplingJoinEstimator
+        from tests.conftest import random_rects
+
+        a = SpatialDataset("a", random_rects(rng, 40))
+        b = SpatialDataset("b", random_rects(rng, 40))
+        plan = FaultPlan([FaultSpec("sampling.join")])
+        with inject_faults(plan):
+            with pytest.raises(TransientEstimationError):
+                SamplingJoinEstimator("rs", 0.5, 0.5).estimate(a, b)
+        assert [a_.stage for a_ in plan.activations] == ["sampling.join"]

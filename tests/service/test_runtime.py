@@ -1,0 +1,104 @@
+"""Unit tests for the cooperative runtime (deadlines, checkpoints, scopes)."""
+
+import time
+
+import pytest
+
+from repro.errors import EstimationTimeout
+from repro.runtime import (
+    Deadline,
+    active_deadline,
+    checkpoint,
+    mutate,
+    runtime_scope,
+)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired
+        assert d.remaining == float("inf")
+        d.check("anywhere")  # no raise
+
+    def test_zero_budget_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired
+        with pytest.raises(EstimationTimeout) as info:
+            d.check("gh.build.corners")
+        assert info.value.stage == "gh.build.corners"
+        assert "gh.build.corners" in str(info.value)
+
+    def test_positive_budget_counts_down(self):
+        d = Deadline(60.0)
+        assert not d.expired
+        assert 0 < d.remaining <= 60.0
+        d.check()  # no raise
+
+    def test_expiry_after_sleep(self):
+        d = Deadline(0.005)
+        time.sleep(0.02)
+        assert d.expired
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline(-1.0)
+
+    def test_timeout_is_builtin_timeout_error(self):
+        # The taxonomy must stay catchable via the builtin hierarchy.
+        with pytest.raises(TimeoutError):
+            Deadline(0.0).check("x")
+
+
+class TestCheckpoint:
+    def test_noop_without_scope(self):
+        checkpoint("gh.build.corners")  # must be free and silent
+        assert mutate("gh.build.cells", 42) == 42
+
+    def test_deadline_enforced_in_scope(self):
+        with runtime_scope(deadline=Deadline(0.0)):
+            with pytest.raises(EstimationTimeout):
+                checkpoint("sampling.join")
+
+    def test_active_deadline_visibility(self):
+        assert active_deadline() is None
+        d = Deadline(30.0)
+        with runtime_scope(deadline=d):
+            assert active_deadline() is d
+        assert active_deadline() is None
+
+    def test_hook_checkpoint_and_mutate(self):
+        class Recorder:
+            def __init__(self):
+                self.stages = []
+
+            def on_checkpoint(self, stage):
+                self.stages.append(stage)
+
+            def on_mutate(self, stage, value):
+                return value * 2
+
+        hook = Recorder()
+        with runtime_scope(hook=hook):
+            checkpoint("a.b")
+            assert mutate("a.c", 21) == 42
+        assert hook.stages == ["a.b"]
+
+    def test_nested_scopes_compose(self):
+        # Inner scope adds a hook; outer deadline still governs.
+        class Hook:
+            def on_checkpoint(self, stage):
+                pass
+
+        d = Deadline(0.0)
+        with runtime_scope(deadline=d):
+            with runtime_scope(hook=Hook()):
+                assert active_deadline() is d
+                with pytest.raises(EstimationTimeout):
+                    checkpoint("x")
+
+    def test_scope_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with runtime_scope(deadline=Deadline(10.0)):
+                raise RuntimeError("boom")
+        assert active_deadline() is None

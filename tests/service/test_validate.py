@@ -1,0 +1,174 @@
+"""Unit tests for the input-validation/repair pass."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.errors import InvalidDatasetError
+from repro.geometry import Rect, RectArray
+from repro.service import (
+    check_coords,
+    coerce_dataset,
+    validate_dataset,
+    validate_pair,
+)
+from tests.conftest import random_rects
+
+
+class TestCheckCoords:
+    def test_clean(self):
+        coords = np.array([[0.1, 0.1, 0.2, 0.2], [0.3, 0.3, 0.4, 0.4]])
+        assert check_coords(coords) == []
+
+    def test_nan_and_inf_flagged(self):
+        coords = np.array([[0.1, np.nan, 0.2, 0.2], [0.1, 0.1, np.inf, 0.2]])
+        issues = check_coords(coords)
+        assert [i.code for i in issues] == ["nonfinite-coords"]
+        assert issues[0].count == 2
+
+    def test_inverted_flagged(self):
+        coords = np.array([[0.5, 0.1, 0.2, 0.2]])  # xmin > xmax
+        issues = check_coords(coords)
+        assert [i.code for i in issues] == ["inverted-bounds"]
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(InvalidDatasetError, match=r"\(n, 4\)"):
+            check_coords(np.ones((3, 3)))
+
+    def test_empty_is_clean(self):
+        assert check_coords(np.empty((0, 4))) == []
+
+
+class TestCoerceDataset:
+    def test_clean_passthrough(self):
+        coords = np.array([[0.1, 0.1, 0.2, 0.2]])
+        ds, report = coerce_dataset("ok", coords, Rect.unit())
+        assert report.ok
+        assert len(ds) == 1
+        assert ds.extent == Rect.unit()
+
+    def test_nonfinite_rows_dropped(self):
+        coords = np.array([[0.1, 0.1, 0.2, 0.2], [np.nan, 0.1, 0.2, 0.2]])
+        ds, report = coerce_dataset("d", coords, Rect.unit())
+        assert len(ds) == 1
+        assert report.dropped == 1
+        assert any(i.code == "nonfinite-coords" and i.repaired for i in report.issues)
+
+    def test_inverted_bounds_swapped(self):
+        coords = np.array([[0.4, 0.5, 0.2, 0.1]])  # both axes inverted
+        ds, report = coerce_dataset("d", coords, Rect.unit())
+        assert ds.rects.xmin[0] == 0.2 and ds.rects.xmax[0] == 0.4
+        assert ds.rects.ymin[0] == 0.1 and ds.rects.ymax[0] == 0.5
+        assert any(i.code == "inverted-bounds" for i in report.issues)
+
+    def test_outside_extent_clipped(self):
+        coords = np.array([[-0.5, 0.1, 0.5, 0.2]])
+        ds, report = coerce_dataset("d", coords, Rect.unit())
+        assert ds.rects.xmin[0] == 0.0
+        assert any(i.code == "outside-extent" for i in report.issues)
+
+    def test_missing_extent_derived_from_data(self):
+        coords = np.array([[1.0, 2.0, 3.0, 4.0], [2.0, 3.0, 5.0, 6.0]])
+        ds, _ = coerce_dataset("d", coords, None)
+        assert ds.extent == Rect(1.0, 2.0, 5.0, 6.0)
+
+    def test_empty_input_reported(self):
+        ds, report = coerce_dataset("d", np.empty((0, 4)), None)
+        assert len(ds) == 0
+        assert any(i.code == "empty-dataset" for i in report.issues)
+
+    def test_strict_raises_on_nan(self):
+        coords = np.array([[np.nan, 0.1, 0.2, 0.2]])
+        with pytest.raises(InvalidDatasetError, match="NaN"):
+            coerce_dataset("d", coords, Rect.unit(), policy="strict")
+
+    def test_strict_raises_on_outside(self):
+        coords = np.array([[-2.0, 0.1, 0.2, 0.2]])
+        with pytest.raises(InvalidDatasetError, match="outside"):
+            coerce_dataset("d", coords, Rect.unit(), policy="strict")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            coerce_dataset("d", np.empty((0, 4)), None, policy="yolo")
+
+
+class TestValidateDataset:
+    def test_clean_dataset_is_same_object(self, rng):
+        ds = SpatialDataset("clean", random_rects(rng, 50), Rect.unit())
+        out, report = validate_dataset(ds)
+        assert out is ds  # bit-identical fast path: no copy, no rebuild
+        assert report.ok
+
+    def test_inverted_rows_repaired(self):
+        # An inverted row can slip past construction when other rows keep
+        # the aggregate bounds valid; build its RectArray unvalidated.
+        rects = RectArray(
+            np.array([0.1, 0.5]),
+            np.array([0.1, 0.1]),
+            np.array([0.2, 0.3]),  # second row: xmin 0.5 > xmax 0.3
+            np.array([0.2, 0.2]),
+            validate=False,
+        )
+        ds = SpatialDataset("inverted", rects, Rect.unit())
+        out, report = validate_dataset(ds)
+        assert len(out) == 2
+        assert out.rects.xmin[1] == 0.3 and out.rects.xmax[1] == 0.5
+        assert report.repaired
+        assert any(i.code == "inverted-bounds" for i in report.issues)
+
+    def test_inverted_rows_strict_raises(self):
+        rects = RectArray(
+            np.array([0.1, 0.5]),
+            np.array([0.1, 0.1]),
+            np.array([0.2, 0.3]),
+            np.array([0.2, 0.2]),
+            validate=False,
+        )
+        ds = SpatialDataset("inverted", rects, Rect.unit())
+        with pytest.raises(InvalidDatasetError, match="inverted"):
+            validate_dataset(ds, policy="strict")
+
+    def test_empty_dataset_reported_not_raised(self):
+        ds = SpatialDataset("empty", RectArray.empty(), Rect.unit())
+        out, report = validate_dataset(ds)
+        assert out is ds
+        assert [i.code for i in report.issues] == ["empty-dataset"]
+        assert not report.repaired
+
+    def test_report_summary_mentions_issues(self):
+        ds = SpatialDataset("empty", RectArray.empty(), Rect.unit())
+        _, report = validate_dataset(ds)
+        assert "empty-dataset" in report.summary()
+        clean = SpatialDataset("c", RectArray.from_coords([[0.1, 0.1, 0.2, 0.2]]), Rect.unit())
+        assert "clean" in validate_dataset(clean)[1].summary()
+
+
+class TestValidatePair:
+    def test_matching_extents_passthrough(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 20), Rect.unit())
+        b = SpatialDataset("b", random_rects(rng, 20), Rect.unit())
+        a2, b2, r1, r2 = validate_pair(a, b)
+        assert a2 is a and b2 is b
+        assert r1.ok and r2.ok
+
+    def test_mismatched_extents_reconciled_to_union(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 20), Rect.unit())
+        b = SpatialDataset("b", random_rects(rng, 20), Rect(0, 0, 2, 2))
+        a2, b2, r1, r2 = validate_pair(a, b)
+        assert a2.extent == b2.extent == Rect(0, 0, 2, 2)
+        assert any(i.code == "extent-mismatch" for i in r1.issues)
+        assert r1.repaired and r2.repaired
+
+    def test_mismatched_extents_strict_raises(self, rng):
+        a = SpatialDataset("a", random_rects(rng, 5), Rect.unit())
+        b = SpatialDataset("b", random_rects(rng, 5), Rect(0, 0, 2, 2))
+        with pytest.raises(InvalidDatasetError, match="different extents"):
+            validate_pair(a, b, policy="strict")
+
+    def test_reconciled_pair_estimable(self, rng):
+        from repro import GHEstimator
+
+        a = SpatialDataset("a", random_rects(rng, 30), Rect.unit())
+        b = SpatialDataset("b", random_rects(rng, 30), Rect(0, 0, 2, 2))
+        a2, b2, _, _ = validate_pair(a, b)
+        assert GHEstimator(level=3).estimate(a2, b2) >= 0.0

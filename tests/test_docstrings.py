@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.histograms",
     "repro.core",
     "repro.eval",
+    "repro.service",
 ]
 
 

@@ -28,6 +28,7 @@ class TestExports:
             "repro.histograms",
             "repro.core",
             "repro.eval",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, module):
