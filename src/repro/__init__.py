@@ -61,6 +61,13 @@ from .errors import (
     TransientEstimationError,
 )
 from .join import actual_selectivity, join_count, join_pairs
+from .perf import (
+    BatchQuery,
+    CachedEstimator,
+    HistogramCache,
+    dataset_fingerprint,
+    estimate_many,
+)
 from .runtime import Deadline
 from .sampling import SamplingJoinEstimator
 from .service import (
@@ -117,6 +124,12 @@ __all__ = [
     "catalog_for",
     "optimize_join_order",
     "relative_error_pct",
+    # serving performance (cache + batched estimation)
+    "HistogramCache",
+    "CachedEstimator",
+    "BatchQuery",
+    "estimate_many",
+    "dataset_fingerprint",
     # error taxonomy
     "ReproError",
     "InvalidDatasetError",

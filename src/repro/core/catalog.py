@@ -10,12 +10,15 @@ and can spill them to a directory as histogram files.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect, common_extent
 from ..histograms import load_histogram, save_histogram
-from .estimator import GHEstimator, PHEstimator, PreparedEstimator
+from .estimator import BasicGHEstimator, GHEstimator, PHEstimator, PreparedEstimator
+
+if TYPE_CHECKING:
+    from ..perf.cache import HistogramCache
 
 __all__ = ["StatisticsCatalog"]
 
@@ -31,6 +34,14 @@ class StatisticsCatalog:
     directory:
         Optional path; when given, histogram summaries are persisted as
         files there and reloaded on cache misses.
+    cache:
+        Optional :class:`~repro.perf.cache.HistogramCache` shared with
+        other serving components.  When given, GH/PH/basic-GH summaries
+        are resolved through it instead of the catalog's own name-keyed
+        dict: entries are content-addressed (re-registering changed data
+        under an old name can never serve stale statistics), coarser GH
+        levels derive from cached finer ones, and the byte budget / LRU
+        policy governs retention.
     """
 
     def __init__(
@@ -38,9 +49,11 @@ class StatisticsCatalog:
         estimator: Optional[PreparedEstimator] = None,
         *,
         directory: str | Path | None = None,
+        cache: "HistogramCache | None" = None,
     ) -> None:
         self.estimator = estimator if estimator is not None else GHEstimator(level=7)
         self.directory = Path(directory) if directory is not None else None
+        self.cache = cache
         self._datasets: Dict[str, SpatialDataset] = {}
         self._summaries: Dict[Tuple[str, str], Any] = {}
         self._extent: Rect | None = None
@@ -81,6 +94,13 @@ class StatisticsCatalog:
     # ------------------------------------------------------------------
     def summary_for(self, name: str) -> Any:
         """The cached (or freshly built / loaded) per-dataset summary."""
+        if self.cache is not None and self._cache_scheme() is not None:
+            return self.cache.get_or_build(
+                self.dataset(name),
+                self._cache_scheme(),
+                self.estimator.level,  # type: ignore[attr-defined]
+                extent=self.extent,
+            )
         key = (name, self._estimator_key())
         if key in self._summaries:
             return self._summaries[key]
@@ -106,6 +126,12 @@ class StatisticsCatalog:
         )
 
     # ------------------------------------------------------------------
+    def _cache_scheme(self) -> str | None:
+        """The histogram-cache scheme name for the estimator, if cacheable."""
+        if isinstance(self.estimator, (GHEstimator, PHEstimator, BasicGHEstimator)):
+            return self.estimator.name
+        return None
+
     def _estimator_key(self) -> str:
         level = getattr(self.estimator, "level", None)
         return f"{self.estimator.name}-{level}" if level is not None else self.estimator.name

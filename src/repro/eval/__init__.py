@@ -22,7 +22,7 @@ from .harness import (
 )
 from .inventory import DatasetRow, PairRow, render_inventory, run_inventory
 from .report import write_csv
-from .timing import measure_seconds
+from .timing import measure_best, measure_seconds
 
 __all__ = [
     "PairContext",
@@ -37,6 +37,7 @@ __all__ = [
     "render_figure7",
     "format_pct",
     "measure_seconds",
+    "measure_best",
     "AblationRow",
     "render_ablations",
     "run_gh_variant_ablation",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
-__all__ = ["measure_seconds"]
+__all__ = ["measure_seconds", "measure_best"]
 
 
 def measure_seconds(
@@ -35,3 +35,22 @@ def measure_seconds(
         total += time.perf_counter() - start
         runs += 1
     return total / runs
+
+
+def measure_best(fn: Callable[[], Any], *, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``.
+
+    The minimum over several runs is the standard estimator for
+    *comparing* implementations (it discards GC pauses, scheduler noise,
+    and first-call warmup that would otherwise blur an A/B speedup);
+    :func:`measure_seconds` remains the right tool for absolute
+    latencies.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -25,6 +25,7 @@ from .parametric import aref_samet_selectivity, aref_samet_size, parametric_sele
 from .ph import PHHistogram, ph_selectivity
 from .pyramid import GHPyramid, downsample_gh
 from .range_query import range_count_gh, range_count_parametric, range_count_ph
+from .scatter import add_at_baseline, scatter_add
 
 __all__ = [
     "apply_updates",
@@ -52,4 +53,6 @@ __all__ = [
     "load_histogram",
     "histogram_to_bytes",
     "histogram_from_bytes",
+    "scatter_add",
+    "add_at_baseline",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..geometry import Rect, RectArray
 
-__all__ = ["Grid", "CellOverlap", "MAX_LEVEL"]
+__all__ = ["Grid", "CellOverlap", "GridRuns", "MAX_LEVEL"]
 
 #: 4^12 = 16.7M cells (~128MB per float64 stat array) — a sane ceiling.
 MAX_LEVEL = 12
@@ -119,6 +119,27 @@ class Grid:
             self.row_of(rects.ymax),
         )
 
+    def _cell_ranges_fast(
+        self, rects: RectArray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`cell_ranges` with the ``np.floor`` pass elided.
+
+        ``astype`` truncates toward zero where ``floor`` rounds down;
+        they differ only for negative non-integer quotients, and those
+        clip to cell 0 either way — the output is identical, one fewer
+        array pass per coordinate.  (The divisions stay divisions: a
+        reciprocal-multiply could shift a boundary coordinate across a
+        cell line by one ulp.)
+        """
+        ext, side = self.extent, self.side
+        cw, ch = self.cell_width, self.cell_height
+        return (
+            np.clip(((rects.xmin - ext.xmin) / cw).astype(np.int64), 0, side - 1),
+            np.clip(((rects.xmax - ext.xmin) / cw).astype(np.int64), 0, side - 1),
+            np.clip(((rects.ymin - ext.ymin) / ch).astype(np.int64), 0, side - 1),
+            np.clip(((rects.ymax - ext.ymin) / ch).astype(np.int64), 0, side - 1),
+        )
+
     def span_counts(self, rects: RectArray) -> np.ndarray:
         """Number of cells each rectangle overlaps."""
         i0, i1, j0, j1 = self.cell_ranges(rects)
@@ -163,3 +184,138 @@ class Grid:
             validate=False,
         )
         return CellOverlap(rect_rep, ci, cj, cj * self.side + ci, clipped)
+
+
+def _concat_ramp(
+    start: np.ndarray, spans: np.ndarray, offsets: np.ndarray, total: int
+) -> np.ndarray:
+    """Concatenated integer ramps ``start[k], start[k]+1, ...`` of length
+    ``spans[k]`` each, as one cumulative sum (no per-run ``arange``).
+
+    ``offsets`` are the exclusive run offsets (``offsets[k] = spans[:k].sum()``)
+    — callers precompute them once and share across ramps.
+    """
+    delta = np.ones(total, dtype=np.int64)
+    delta[0] = start[0]
+    if len(start) > 1:
+        delta[offsets[1:]] = start[1:] - start[:-1] - spans[:-1] + 1
+    return np.cumsum(delta)
+
+
+def _run_offsets(spans: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums of ``spans`` (run start offsets)."""
+    offsets = np.zeros(len(spans), dtype=np.int64)
+    if len(spans) > 1:
+        np.cumsum(spans[:-1], out=offsets[1:])
+    return offsets
+
+
+class GridRuns:
+    """Shared rectangle-over-cells expansion for the optimized builds.
+
+    The legacy build path re-derived cell indices per statistic: corners,
+    overlaps, and each edge family independently recomputed ranges and
+    expanded runs.  ``GridRuns`` computes, once per build,
+
+    * the inclusive cell ranges ``(i0, i1, j0, j1)`` per rectangle,
+    * one *x-run* per (rectangle, column) and one *y-run* per
+      (rectangle, row) incidence — with the raw clipped segment length
+      in that column/row (``clips=True``), and
+    * on demand, the row-major 2-D cross product of the two run families
+      — the (rectangle, cell) incidence list (:meth:`cross_flat`, with
+      per-incidence values via :meth:`take_x` / :meth:`repeat_y`).
+
+    ``np.repeat`` with per-element counts is the expensive primitive
+    here, so it runs exactly once per expansion axis (building the
+    segment-index map); every per-rectangle or per-run value is then a
+    cheap ``take`` gather through that map.  All float expression trees
+    match :meth:`Grid.overlaps` and the legacy edge spreading exactly,
+    keeping optimized builds bit-identical to the legacy path.
+
+    Run order is rectangle-major with ascending cell index; the cross
+    product lists each rectangle's cells in row-major order (rows outer,
+    columns inner) — the same incidence order :meth:`Grid.overlaps`
+    produces, so per-bin accumulation order is unchanged too.
+
+    The cross product never materializes a per-incidence *position*
+    gather for the flat cell ids: within one y-run the ids are
+    consecutive (``cy*side + i0 .. cy*side + i1``), so the whole flat
+    list is itself a concatenated ramp — one cumsum instead of a
+    repeat, a ramp, and two gathers.
+    """
+
+    __slots__ = (
+        "grid", "i0", "i1", "j0", "j1", "wx", "wy", "offx",
+        "segx", "cx", "rawx", "segy", "cy", "rawy",
+        "_spans2", "_off2", "_total2", "_ixpos", "_flat2d",
+    )
+
+    def __init__(
+        self,
+        grid: Grid,
+        rects: RectArray,
+        *,
+        ranges: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None,
+        clips: bool = True,
+    ) -> None:
+        self.grid = grid
+        if ranges is None:
+            ranges = grid._cell_ranges_fast(rects)
+        self.i0, self.i1, self.j0, self.j1 = ranges
+        self.wx = self.i1 - self.i0 + 1
+        self.wy = self.j1 - self.j0 + 1
+        self._spans2 = self._off2 = self._total2 = self._ixpos = self._flat2d = None
+        n = len(self.i0)
+        self.offx = _run_offsets(self.wx)
+        self.segx = np.repeat(np.arange(n, dtype=np.int64), self.wx)
+        self.cx = _concat_ramp(self.i0, self.wx, self.offx, len(self.segx))
+        offy = _run_offsets(self.wy)
+        self.segy = np.repeat(np.arange(n, dtype=np.int64), self.wy)
+        self.cy = _concat_ramp(self.j0, self.wy, offy, len(self.segy))
+        if clips:
+            ext = grid.extent
+            lo = ext.xmin + self.cx * grid.cell_width
+            self.rawx = np.minimum(rects.xmax.take(self.segx), lo + grid.cell_width) - (
+                np.maximum(rects.xmin.take(self.segx), lo)
+            )
+            lo = ext.ymin + self.cy * grid.cell_height
+            self.rawy = np.minimum(rects.ymax.take(self.segy), lo + grid.cell_height) - (
+                np.maximum(rects.ymin.take(self.segy), lo)
+            )
+        else:
+            self.rawx = self.rawy = None
+
+    def expand_x(self, values: np.ndarray) -> np.ndarray:
+        """Per-rectangle ``values`` spread over the x-runs."""
+        return values.take(self.segx)
+
+    def expand_y(self, values: np.ndarray) -> np.ndarray:
+        """Per-rectangle ``values`` spread over the y-runs."""
+        return values.take(self.segy)
+
+    def _cross_base(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Per-y-run column counts, their offsets, and the 2-D total."""
+        if self._spans2 is None:
+            self._spans2 = self.wx.take(self.segy)
+            self._off2 = _run_offsets(self._spans2)
+            self._total2 = int(self._spans2.sum())
+        return self._spans2, self._off2, self._total2
+
+    def take_x(self, values: np.ndarray) -> np.ndarray:
+        """Per-x-run ``values`` gathered onto the cross-product incidences."""
+        if self._ixpos is None:
+            spans2, off2, total = self._cross_base()
+            self._ixpos = _concat_ramp(self.offx.take(self.segy), spans2, off2, total)
+        return values.take(self._ixpos)
+
+    def repeat_y(self, values: np.ndarray) -> np.ndarray:
+        """Per-y-run ``values`` spread over the cross-product incidences."""
+        return np.repeat(values, self._cross_base()[0])
+
+    def cross_flat(self) -> np.ndarray:
+        """Flat cell ids of the cross-product incidences (row-major)."""
+        if self._flat2d is None:
+            spans2, off2, total = self._cross_base()
+            start = self.cy * self.grid.side + self.i0.take(self.segy)
+            self._flat2d = _concat_ramp(start, spans2, off2, total)
+        return self._flat2d

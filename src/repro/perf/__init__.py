@@ -1,0 +1,39 @@
+"""Serving-performance subsystem: cache, derivation, batched estimation.
+
+The paper's deployment story — build histogram *files* offline, consult
+them at planning time — implies that serving throughput is governed by
+how rarely you rebuild.  This package supplies that amortization layer:
+
+* :mod:`~repro.perf.fingerprint` — content fingerprints so cache
+  identity follows the data, not the dataset name;
+* :mod:`~repro.perf.cache` — :class:`HistogramCache`, a byte-budgeted
+  LRU over built histogram files with hit/miss/eviction counters and
+  multi-level GH *derivation* (a coarser GH is 2×2-pooled from a cached
+  finer one instead of rebuilt — exact, per the additivity of the
+  revised GH statistics), plus :class:`CachedEstimator` to thread the
+  cache under any prepared estimator (the
+  :class:`~repro.service.resilient.ResilientEstimator` uses this to make
+  its GH→coarser-GH fallback rung build-free when the primary's
+  histogram is cached);
+* :mod:`~repro.perf.batch` — :func:`estimate_many`, which deduplicates
+  histogram builds across a whole workload of queries and runs the
+  distinct builds in parallel (falling back to serial whenever a runtime
+  deadline/fault scope is active, preserving checkpoint semantics).
+
+``benchmarks/bench_serving.py`` measures the resulting build-time,
+latency, and throughput story and emits ``BENCH_serving.json``.
+"""
+
+from .batch import BatchQuery, estimate_many
+from .cache import CachedEstimator, CacheKey, CacheStats, HistogramCache
+from .fingerprint import dataset_fingerprint
+
+__all__ = [
+    "BatchQuery",
+    "estimate_many",
+    "CacheKey",
+    "CacheStats",
+    "CachedEstimator",
+    "HistogramCache",
+    "dataset_fingerprint",
+]

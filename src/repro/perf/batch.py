@@ -1,0 +1,143 @@
+"""Batched estimation: one pass of builds, many combines.
+
+A query-optimizer workload asks for many selectivities at once — every
+candidate join order touches the same handful of datasets.  Estimating
+each query independently rebuilds the same histogram files over and
+over; :func:`estimate_many` instead
+
+1. resolves every query to its two histogram *build tasks*, keyed by
+   (dataset fingerprint, scheme, level, extent) so duplicate builds
+   collapse across the whole workload;
+2. executes the distinct builds — through a
+   :class:`~repro.perf.cache.HistogramCache` when one is supplied (so a
+   warm cache skips building entirely), in parallel via
+   ``concurrent.futures.ThreadPoolExecutor`` otherwise eligible;
+3. combines per query with the scheme's estimation formula (microseconds
+   each).
+
+**Runtime-scope fallback.**  Deadlines and fault hooks live in
+context-local state that does not propagate into worker threads
+(:func:`~repro.runtime.active_scope`); running builds on a pool would
+silently disable an active deadline or fault plan.  When any runtime
+scope is active the engine therefore degrades to serial, in-context
+execution — same results, checkpoint semantics preserved.
+
+Results are exactly what per-query estimation would produce: the same
+builders, the same combine formulas, the same empty-side and
+extent-mismatch semantics as :class:`~repro.core.estimator.PreparedEstimator`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from ..runtime import active_scope
+from .cache import CacheKey, Histogram, HistogramCache, _BUILDERS
+from .fingerprint import dataset_fingerprint
+
+__all__ = ["BatchQuery", "estimate_many"]
+
+#: Builds release the GIL inside numpy kernels but keep Python overhead,
+#: so a small pool captures most of the available overlap.
+_DEFAULT_WORKERS = min(8, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchQuery:
+    """One selectivity request in a batched workload."""
+
+    ds1: SpatialDataset
+    ds2: SpatialDataset
+    scheme: str = "gh"
+    level: int = 7
+    extent: Rect | None = None  #: defaults to the pair's shared extent
+
+    def resolved_extent(self) -> Rect:
+        """The grid universe for this query (validated like estimators)."""
+        if self.extent is not None:
+            return self.extent
+        if self.ds1.extent != self.ds2.extent:
+            raise ValueError(
+                f"datasets {self.ds1.name!r} and {self.ds2.name!r} must share "
+                "a common extent (or the query must carry one)"
+            )
+        return self.ds1.extent
+
+
+def _as_query(item: BatchQuery | Sequence) -> BatchQuery:
+    if isinstance(item, BatchQuery):
+        return item
+    return BatchQuery(*item)
+
+
+def estimate_many(
+    queries: Iterable[BatchQuery | Sequence],
+    *,
+    cache: HistogramCache | None = None,
+    max_workers: int | None = None,
+) -> list[float]:
+    """Selectivity per query, deduplicating histogram builds workload-wide.
+
+    ``queries`` accepts :class:`BatchQuery` objects or plain tuples
+    ``(ds1, ds2[, scheme[, level]])``.  Returns one selectivity per
+    query, in order, identical to estimating each query on its own.
+    """
+    batch = [_as_query(q) for q in queries]
+    if not batch:
+        return []
+
+    # Phase 1 — resolve each query to its two build tasks; dedupe by
+    # content-addressed key.  Empty-side queries answer 0.0 and build
+    # nothing (the shared PreparedEstimator semantics).
+    tasks: dict[CacheKey, tuple[SpatialDataset, str, int, Rect]] = {}
+    plans: list[tuple[CacheKey, CacheKey] | None] = []
+    for query in batch:
+        if query.scheme not in _BUILDERS:
+            raise ValueError(
+                f"unknown scheme {query.scheme!r}; choose from {sorted(_BUILDERS)}"
+            )
+        if len(query.ds1) == 0 or len(query.ds2) == 0:
+            plans.append(None)
+            continue
+        extent = query.resolved_extent()
+        pair = []
+        for dataset in (query.ds1, query.ds2):
+            key = CacheKey(
+                fingerprint=dataset_fingerprint(dataset),
+                scheme=query.scheme,
+                level=int(query.level),
+                extent=extent.as_tuple(),
+            )
+            tasks.setdefault(key, (dataset, query.scheme, int(query.level), extent))
+            pair.append(key)
+        plans.append((pair[0], pair[1]))
+
+    # Phase 2 — run the distinct builds, in parallel when no runtime
+    # scope (deadline / fault hook) demands in-context execution.
+    def run(task: tuple[SpatialDataset, str, int, Rect]) -> Histogram:
+        dataset, scheme, level, extent = task
+        if cache is not None:
+            return cache.get_or_build(dataset, scheme, level, extent=extent)
+        return _BUILDERS[scheme].build(dataset, level, extent=extent)
+
+    keys = list(tasks)
+    if active_scope() is not None or len(keys) <= 1:
+        built = {key: run(tasks[key]) for key in keys}
+    else:
+        workers = min(max_workers or _DEFAULT_WORKERS, len(keys))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            built = dict(zip(keys, pool.map(lambda k: run(tasks[k]), keys)))
+
+    # Phase 3 — cheap per-query combines over the built files.
+    results: list[float] = []
+    for query, plan in zip(batch, plans):
+        if plan is None:
+            results.append(0.0)
+        else:
+            results.append(built[plan[0]].estimate_selectivity(built[plan[1]]))
+    return results

@@ -1,0 +1,287 @@
+"""Content-addressed histogram cache with multi-level GH derivation.
+
+The serving-side observation behind this module: histogram *builds* scan
+the data (milliseconds to seconds), histogram *combines* scan only the
+cells (microseconds).  A workload that joins the same datasets
+repeatedly should therefore pay each build once.  The cache keys built
+histogram files by
+
+    (dataset fingerprint, scheme, level, extent)
+
+where the fingerprint hashes the actual geometry
+(:func:`~repro.perf.fingerprint.dataset_fingerprint`), so renamed
+datasets share entries and mutated datasets never collide with their
+former selves.  Entries are held LRU within a configurable byte budget
+(sized by each histogram's ``size_bytes``, the paper's file-size
+accounting), with hit/miss/build/derivation/eviction counters exposed
+for observability.
+
+**Multi-level GH derivation.**  Revised-GH statistics are additive
+across cell boundaries (paper §3.2.2 / Figure 7), so a parent cell's
+statistics are exact functions of its 2×2 children
+(:func:`~repro.histograms.pyramid.downsample_gh`).  On a GH miss the
+cache therefore looks for a cached *finer* GH of the same dataset and
+extent and derives the requested level by repeated 2×2 pooling instead
+of rebuilding from the data — turning e.g. the
+:class:`~repro.service.resilient.ResilientEstimator` GH→coarser-GH
+fallback rung from a second O(data) build into an O(cells) fold.
+
+Builds executed while a fault-injection hook is active are *not*
+inserted (a mutation hook may have corrupted the freshly built cells;
+caching them would poison every later hit), so chaos tests keep their
+semantics even when a cache is threaded through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.estimator import (
+    BasicGHEstimator,
+    GHEstimator,
+    PHEstimator,
+    PreparedEstimator,
+)
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from ..histograms import BasicGHHistogram, GHHistogram, PHHistogram, downsample_gh
+from ..runtime import active_scope
+from .fingerprint import dataset_fingerprint
+
+__all__ = ["CacheKey", "CacheStats", "HistogramCache", "CachedEstimator"]
+
+Histogram = Union[GHHistogram, PHHistogram, BasicGHHistogram]
+
+_BUILDERS = {
+    "gh": GHHistogram,
+    "ph": PHHistogram,
+    "gh_basic": BasicGHHistogram,
+}
+
+#: Default byte budget: 64 MiB ≈ a level-9 GH plus plenty of headroom.
+DEFAULT_MAX_BYTES = 64 << 20
+
+
+@dataclass(frozen=True, slots=True)
+class CacheKey:
+    """Content-addressed identity of one histogram file."""
+
+    fingerprint: str
+    scheme: str
+    level: int
+    extent: tuple[float, float, float, float]
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing cache behaviour since creation."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0  #: misses answered by building from the data
+    derivations: int = 0  #: GH misses answered by pooling a finer level
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "derivations": self.derivations,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class HistogramCache:
+    """LRU histogram-file cache with a byte budget and GH derivation.
+
+    Parameters
+    ----------
+    max_bytes:
+        Retention budget over the sum of cached ``size_bytes``.  An
+        entry larger than the whole budget is still built and returned,
+        just never retained.
+    derive_gh:
+        When True (default), a GH miss is answered by 2×2-pooling a
+        cached finer GH of the same dataset/extent when one exists.
+
+    Thread-safe: lookups and insertions are lock-protected; builds run
+    outside the lock so concurrent misses on different keys overlap.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES, *, derive_gh: bool = True) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.derive_gh = derive_gh
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, Histogram] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        """Total ``size_bytes`` of retained entries (always ≤ budget)."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[CacheKey]:
+        """Retained keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        dataset: SpatialDataset, scheme: str, level: int, extent: Rect | None = None
+    ) -> CacheKey:
+        """The content-addressed key a lookup would use."""
+        if scheme not in _BUILDERS:
+            raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(_BUILDERS)}")
+        extent = extent or dataset.extent
+        return CacheKey(
+            fingerprint=dataset_fingerprint(dataset),
+            scheme=scheme,
+            level=int(level),
+            extent=extent.as_tuple(),
+        )
+
+    def get_or_build(
+        self,
+        dataset: SpatialDataset,
+        scheme: str = "gh",
+        level: int = 7,
+        *,
+        extent: Rect | None = None,
+    ) -> Histogram:
+        """The histogram for ``(dataset, scheme, level, extent)``.
+
+        Resolution order: cache hit → GH derivation from a cached finer
+        level → fresh build from the data.  Derived and built histograms
+        are retained (LRU within the byte budget) unless a fault hook is
+        active in the current runtime scope.
+        """
+        extent = extent or dataset.extent
+        key = self.key_for(dataset, scheme, level, extent)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return hit
+            self.stats.misses += 1
+            donor = self._finest_cached_finer_gh(key) if scheme == "gh" and self.derive_gh else None
+        if donor is not None:
+            hist: Histogram = donor
+            for _ in range(donor.grid.level - level):
+                hist = downsample_gh(hist)
+            with self._lock:
+                self.stats.derivations += 1
+        else:
+            hist = _BUILDERS[scheme].build(dataset, level, extent=extent)
+            with self._lock:
+                self.stats.builds += 1
+        self._insert(key, hist)
+        return hist
+
+    def _finest_cached_finer_gh(self, key: CacheKey) -> GHHistogram | None:
+        """Cheapest derivation donor: the *coarsest* cached level > requested.
+
+        (Pooling cost is dominated by the finest level folded, so among
+        valid donors the one closest to the requested level wins.)
+        Caller must hold the lock.
+        """
+        best: GHHistogram | None = None
+        for other, hist in self._entries.items():
+            if (
+                other.scheme == "gh"
+                and other.fingerprint == key.fingerprint
+                and other.extent == key.extent
+                and other.level > key.level
+                and (best is None or other.level < best.grid.level)
+            ):
+                best = hist  # type: ignore[assignment]
+        return best
+
+    def _insert(self, key: CacheKey, hist: Histogram) -> None:
+        scope = active_scope()
+        if scope is not None and scope.hook is not None:
+            return  # a mutation hook may have corrupted this build
+        size = hist.size_bytes
+        if size > self.max_bytes:
+            return  # would evict everything and still not fit
+        with self._lock:
+            if key in self._entries:  # another thread raced us; keep theirs
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = hist
+            self._bytes += size
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size_bytes
+                self.stats.evictions += 1
+
+
+class CachedEstimator(PreparedEstimator):
+    """A :class:`PreparedEstimator` whose ``prepare`` goes through a cache.
+
+    Wraps GH/PH/basic-GH estimators transparently (same ``name`` /
+    ``level`` / ``combine``); other estimator kinds pass through
+    untouched via :meth:`wrap`.
+    """
+
+    def __init__(self, inner: PreparedEstimator, cache: HistogramCache) -> None:
+        if not isinstance(inner, (GHEstimator, PHEstimator, BasicGHEstimator)):
+            raise TypeError(
+                f"CachedEstimator wraps histogram estimators, got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self.cache = cache
+        self.name = inner.name
+        self.level = inner.level
+
+    @classmethod
+    def wrap(
+        cls, estimator: object, cache: HistogramCache
+    ) -> object:
+        """Cache-wrap ``estimator`` when its summaries are cacheable."""
+        if isinstance(estimator, (GHEstimator, PHEstimator, BasicGHEstimator)):
+            return cls(estimator, cache)
+        return estimator
+
+    def prepare(self, dataset: SpatialDataset, *, extent: Rect | None = None) -> Histogram:
+        """The (possibly cached or derived) histogram file for ``dataset``."""
+        return self.cache.get_or_build(dataset, self.name, self.level, extent=extent)
+
+    def combine(self, prep1: Histogram, prep2: Histogram) -> float:
+        """Delegate to the wrapped estimator's combine formula."""
+        return self.inner.combine(prep1, prep2)
+
+    def __repr__(self) -> str:
+        return f"CachedEstimator({self.inner!r})"

@@ -85,10 +85,15 @@ def rtree_join_pairs(tree_a: RTree, tree_b: RTree) -> np.ndarray:
 
 
 def iter_join_pairs(tree_a: RTree, tree_b: RTree) -> Iterator[tuple[int, int]]:
-    """Stream intersecting payload-id pairs (unsorted)."""
+    """Stream intersecting payload-id pairs (unsorted).
+
+    Each leaf-pair block is converted to Python ints in one vectorized
+    ``tolist`` per side rather than an element-at-a-time indexing loop
+    (the per-element ``ndarray.__getitem__`` + ``int()`` round-trip was
+    the hot spot when draining large joins through this iterator).
+    """
     for ids_a, ids_b in _iter_leaf_pair_ids(tree_a, tree_b):
-        for i in range(len(ids_a)):
-            yield int(ids_a[i]), int(ids_b[i])
+        yield from zip(ids_a.tolist(), ids_b.tolist())
 
 
 def _iter_leaf_pair_ids(

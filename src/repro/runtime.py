@@ -42,6 +42,7 @@ __all__ = [
     "RuntimeScope",
     "runtime_scope",
     "active_deadline",
+    "active_scope",
     "checkpoint",
     "mutate",
 ]
@@ -124,6 +125,18 @@ def active_deadline() -> Deadline | None:
     """The deadline governing the current scope, if any."""
     scope = _ACTIVE.get()
     return scope.deadline if scope is not None else None
+
+
+def active_scope() -> RuntimeScope | None:
+    """The full runtime scope installed for the current context, if any.
+
+    Scopes are context-local and do **not** propagate into worker
+    threads, so anything that offloads work (e.g. the batched estimation
+    engine) must consult this before parallelizing: an active deadline
+    or fault hook demands serial, in-context execution to keep its
+    checkpoint semantics.
+    """
+    return _ACTIVE.get()
 
 
 def checkpoint(stage: str) -> None:

@@ -31,7 +31,7 @@ import math
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.estimator import (
     BasicGHEstimator,
@@ -51,6 +51,9 @@ from ..errors import (
 )
 from ..runtime import Deadline, runtime_scope
 from .validate import VALIDATION_POLICIES, ValidationReport, validate_pair
+
+if TYPE_CHECKING:
+    from ..perf.cache import HistogramCache
 
 __all__ = [
     "AttemptRecord",
@@ -179,6 +182,16 @@ class ResilientEstimator(JoinSelectivityEstimator):
         ``"repair"`` (default) fixes what it can and records it;
         ``"strict"`` raises :class:`InvalidDatasetError` on bad input
         instead of estimating.
+    cache:
+        Optional :class:`~repro.perf.cache.HistogramCache`.  When given,
+        every histogram rung in the chain prepares its per-dataset
+        summaries through the cache, so (a) repeated calls against the
+        same data stop rebuilding, and (b) the GH→coarser-GH fallback
+        rung *derives* its coarser histogram by exact 2×2 pooling from
+        the cached finer one instead of re-scanning the data — the
+        degraded answer arrives in O(cells) instead of O(data).  Builds
+        performed while a fault hook is active are never cached, so
+        fault-injection semantics are unchanged.
     """
 
     name = "resilient"
@@ -192,6 +205,7 @@ class ResilientEstimator(JoinSelectivityEstimator):
         backoff_s: float = 0.0,
         chain: Sequence[JoinSelectivityEstimator] | None = None,
         validation: str = "repair",
+        cache: "HistogramCache | None" = None,
         **primary_kwargs: object,
     ) -> None:
         if isinstance(primary, str):
@@ -211,6 +225,11 @@ class ResilientEstimator(JoinSelectivityEstimator):
         )
         if not self.chain:
             raise ValueError("fallback chain must have at least one rung")
+        self.cache = cache
+        if cache is not None:
+            from ..perf.cache import CachedEstimator  # service → perf, no cycle
+
+            self.chain = tuple(CachedEstimator.wrap(rung, cache) for rung in self.chain)
         if validation not in VALIDATION_POLICIES:
             raise ValueError(
                 f"unknown validation policy {validation!r}; "

@@ -1,0 +1,141 @@
+"""Batched estimation: equivalence, dedup, and runtime-scope fallback."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.estimator import BasicGHEstimator, GHEstimator, PHEstimator
+from repro.datasets import SpatialDataset
+from repro.errors import EstimationTimeout
+from repro.geometry import Rect, RectArray
+from repro.histograms import GHHistogram
+from repro.perf import BatchQuery, HistogramCache, estimate_many
+from repro.runtime import Deadline, runtime_scope
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def trio(rng) -> list[SpatialDataset]:
+    return [SpatialDataset(f"d{i}", random_rects(rng, 300)) for i in range(3)]
+
+
+def _count_gh_builds(monkeypatch):
+    calls = []
+    original = GHHistogram.build.__func__
+
+    def counting(cls, dataset, level, *, extent=None):
+        calls.append((dataset.name, level))
+        return original(cls, dataset, level, extent=extent)
+
+    monkeypatch.setattr(GHHistogram, "build", classmethod(counting))
+    return calls
+
+
+class TestEquivalence:
+    def test_matches_individual_estimates(self, trio):
+        queries = [
+            BatchQuery(trio[0], trio[1], "gh", 5),
+            (trio[1], trio[2], "gh", 5),
+            (trio[0], trio[2], "ph", 4),
+            (trio[0], trio[1], "gh_basic", 4),
+        ]
+        singles = [
+            GHEstimator(level=5).estimate(trio[0], trio[1]),
+            GHEstimator(level=5).estimate(trio[1], trio[2]),
+            PHEstimator(level=4).estimate(trio[0], trio[2]),
+            BasicGHEstimator(level=4).estimate(trio[0], trio[1]),
+        ]
+        assert estimate_many(queries) == singles
+        assert estimate_many(queries, cache=HistogramCache()) == singles
+
+    def test_order_preserved(self, trio):
+        pairs = list(itertools.combinations(trio, 2))
+        queries = [(a, b, "gh", 4) for a, b in pairs] + [
+            (b, a, "gh", 4) for a, b in pairs
+        ]
+        results = estimate_many(queries)
+        # GH combine is symmetric, so the reversed half mirrors the first.
+        assert results[: len(pairs)] == results[len(pairs) :]
+
+    def test_empty_batch(self):
+        assert estimate_many([]) == []
+
+    def test_empty_side_answers_zero_without_building(self, trio, monkeypatch):
+        calls = _count_gh_builds(monkeypatch)
+        empty = SpatialDataset("empty", RectArray.empty(), trio[0].extent)
+        assert estimate_many([(trio[0], empty, "gh", 5)]) == [0.0]
+        assert calls == []
+
+    def test_extent_mismatch_raises(self, trio):
+        shifted = SpatialDataset(
+            "shifted", trio[1].rects, Rect(-0.5, -0.5, 1.5, 1.5)
+        )
+        with pytest.raises(ValueError, match="common extent"):
+            estimate_many([(trio[0], shifted)])
+
+    def test_unknown_scheme_raises(self, trio):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            estimate_many([(trio[0], trio[1], "nope", 3)])
+
+
+class TestDeduplication:
+    def test_builds_once_per_distinct_histogram(self, trio, monkeypatch):
+        calls = _count_gh_builds(monkeypatch)
+        queries = [
+            (a, b, "gh", 5) for a, b in itertools.product(trio, trio) if a is not b
+        ]
+        assert len(queries) == 6
+        estimate_many(queries)
+        assert len(calls) == 3  # one build per dataset, not per query
+
+    def test_self_join_builds_once(self, trio, monkeypatch):
+        calls = _count_gh_builds(monkeypatch)
+        estimate_many([(trio[0], trio[0], "gh", 5)])
+        assert len(calls) == 1
+
+    def test_warm_cache_builds_nothing(self, trio, monkeypatch):
+        cache = HistogramCache()
+        queries = [(trio[0], trio[1], "gh", 5), (trio[1], trio[2], "gh", 5)]
+        estimate_many(queries, cache=cache)
+        calls = _count_gh_builds(monkeypatch)
+        warm = estimate_many(queries, cache=cache)
+        assert calls == []
+        assert warm == estimate_many(queries)
+
+
+class TestRuntimeScopeFallback:
+    def test_serial_under_active_scope(self, trio, monkeypatch):
+        """With a deadline or hook installed, builds must stay on the
+        calling context (thread pools cannot see context-local scopes)."""
+        import repro.perf.batch as batch_mod
+
+        queries = [
+            (a, b, "gh", 4) for a, b in itertools.product(trio, trio) if a is not b
+        ]
+        expected = estimate_many(queries)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("thread pool used under an active runtime scope")
+
+        monkeypatch.setattr(batch_mod, "ThreadPoolExecutor", boom)
+        with runtime_scope(deadline=Deadline(None)):
+            results = estimate_many(queries)
+        assert results == expected
+
+    def test_deadline_still_enforced(self, trio):
+        with runtime_scope(deadline=Deadline(0.0)):
+            with pytest.raises(EstimationTimeout):
+                estimate_many([(trio[0], trio[1], "gh", 6)])
+
+    def test_parallel_path_matches_serial(self, trio):
+        queries = [
+            (a, b, scheme, level)
+            for (a, b), scheme, level in itertools.product(
+                itertools.combinations(trio, 2), ("gh", "ph"), (3, 5)
+            )
+        ]
+        assert estimate_many(queries, max_workers=4) == estimate_many(
+            queries, max_workers=1
+        )

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.eval",
     "repro.service",
+    "repro.perf",
 ]
 
 

@@ -29,6 +29,7 @@ class TestExports:
             "repro.core",
             "repro.eval",
             "repro.service",
+            "repro.perf",
         ],
     )
     def test_subpackage_all_resolves(self, module):
