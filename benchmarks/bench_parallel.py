@@ -1,0 +1,242 @@
+"""Parallel exact-join benchmark: multiprocess PBSM vs the serial engine.
+
+Measures the oracle's scaling claims and emits ``BENCH_parallel.json``:
+
+* **join** — serial ``partition_join_count`` vs
+  ``parallel_partition_join_detailed`` at several dataset sizes and
+  worker counts, with per-shard timings summarized through
+  :func:`repro.eval.timing.shard_balance` (imbalance = slowest shard /
+  mean shard).  Every parallel run is verified bit-identical to the
+  serial count before its timing is recorded — a fast wrong answer
+  never makes it into the trajectory file.
+* **sampling** — the replica driver
+  (``estimate_with_confidence(workers=...)``) serial vs parallel, with
+  the intervals asserted *identical* (the seed schedule is shared).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py           # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick   # CI smoke
+
+``--quick`` shrinks sizes and asserts exact serial/parallel agreement
+(counts and pair arrays) — the CI configuration, meaningful on any
+machine.  The full run additionally asserts the speedup regression
+floor — parallel >= 2x serial at N >= 200k with 4 workers — but only
+when the machine has >= 4 CPUs (``os.cpu_count()``); on smaller boxes
+the measured numbers are still recorded, annotated as ungated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import make_clustered, make_uniform
+from repro.eval.timing import shard_balance
+from repro.join import partition_join_count, partition_join_pairs
+from repro.parallel import parallel_partition_join_detailed, parallel_partition_join_pairs
+from repro.sampling import SamplingJoinEstimator
+
+#: Regression floor: with 4 workers at N >= 200k per side, the parallel
+#: engine must be at least this much faster than serial.  Gated on the
+#: machine actually having >= 4 CPUs.
+SPEEDUP_FLOOR = 2.0
+FLOOR_SIZE = 200_000
+FLOOR_WORKERS = 4
+
+
+def _make_pair(n: int):
+    a = make_uniform(n, seed=301, name="A").rects
+    b = make_clustered(n, seed=302, name="B").rects
+    return a, b
+
+
+def bench_join(sizes, workers_list, repeats) -> list[dict]:
+    rows = []
+    for n in sizes:
+        a, b = _make_pair(n)
+        serial_s = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            serial_count = partition_join_count(a, b)
+            serial_s = min(serial_s, time.perf_counter() - t0)
+        print(f"  n={n}: serial {serial_s:.3f} s ({serial_count} pairs)")
+        for workers in workers_list:
+            par_s = float("inf")
+            detail = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                detail = parallel_partition_join_detailed(
+                    a, b, workers=workers, min_parallel=0
+                )
+                par_s = min(par_s, time.perf_counter() - t0)
+            if detail.count != serial_count:
+                raise AssertionError(
+                    f"parallel count {detail.count} != serial {serial_count}"
+                    f" at n={n}, workers={workers}"
+                )
+            balance = shard_balance(detail.shards)
+            rows.append(
+                {
+                    "n_per_side": n,
+                    "workers": workers,
+                    "grid": detail.grid,
+                    "count": detail.count,
+                    "serial_seconds": serial_s,
+                    "parallel_seconds": par_s,
+                    "speedup": serial_s / par_s if par_s > 0 else float("inf"),
+                    "shards": balance["shards"],
+                    "shard_imbalance": balance["imbalance"],
+                    "shard_max_seconds": balance["max_seconds"],
+                }
+            )
+            print(
+                f"    workers={workers}: parallel {par_s:.3f} s"
+                f"  -> {serial_s / par_s:5.2f}x"
+                f"  ({balance['shards']} shards,"
+                f" imbalance {balance['imbalance']:.2f})"
+            )
+    return rows
+
+
+def bench_pairs_agreement(n: int) -> dict:
+    """Exact pair-array agreement at a modest size (quick-mode gate)."""
+    a, b = _make_pair(n)
+    serial = partition_join_pairs(a, b)
+    parallel = parallel_partition_join_pairs(a, b, workers=2, min_parallel=0)
+    identical = bool(np.array_equal(serial, parallel))
+    print(f"  pair arrays at n={n}: identical={identical} ({len(serial)} pairs)")
+    return {"n_per_side": n, "pairs": len(serial), "identical": identical}
+
+
+def bench_sampling(n: int, repeats_replicas: int) -> dict:
+    ds1 = make_uniform(n, seed=303, name="S1")
+    ds2 = make_clustered(n, seed=304, name="S2")
+    est = SamplingJoinEstimator("rswr", 0.2, 0.2, seed=51)
+
+    t0 = time.perf_counter()
+    serial = est.estimate_with_confidence(ds1, ds2, repeats=repeats_replicas)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = est.estimate_with_confidence(
+        ds1, ds2, repeats=repeats_replicas, workers=2
+    )
+    par_s = time.perf_counter() - t0
+    identical = serial == par
+    print(
+        f"  sampling n={n} x{repeats_replicas} replicas:"
+        f" serial {serial_s:.3f} s  parallel {par_s:.3f} s"
+        f"  identical={identical}"
+    )
+    return {
+        "n_per_side": n,
+        "replicas": repeats_replicas,
+        "serial_seconds": serial_s,
+        "parallel_seconds": par_s,
+        "speedup": serial_s / par_s if par_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes + exact-agreement assertions; the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if args.quick:
+        sizes = [20_000]
+        workers_list = [2]
+        repeats = 1
+        sampling_n, sampling_reps = 8_000, 4
+    else:
+        sizes = [50_000, FLOOR_SIZE]
+        workers_list = [2, FLOOR_WORKERS]
+        repeats = 3
+        sampling_n, sampling_reps = 40_000, 6
+
+    print(f"machine: {cpus} cpus; sizes {sizes}; workers {workers_list}")
+    print("partition join, serial vs parallel:")
+    join_rows = bench_join(sizes, workers_list, repeats)
+    print("pair-array agreement:")
+    pairs_row = bench_pairs_agreement(10_000 if args.quick else 30_000)
+    print("sampling replica driver:")
+    sampling_row = bench_sampling(sampling_n, sampling_reps)
+
+    floor_gated = cpus >= FLOOR_WORKERS and not args.quick
+    report = {
+        "config": {
+            "quick": bool(args.quick),
+            "cpus": cpus,
+            "sizes": sizes,
+            "workers": workers_list,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "floor": {
+                "speedup": SPEEDUP_FLOOR,
+                "n_per_side": FLOOR_SIZE,
+                "workers": FLOOR_WORKERS,
+                "gated": floor_gated,
+            },
+        },
+        "notes": (
+            "Every parallel timing is recorded only after its count matched"
+            " the serial engine in-process. The speedup floor (parallel >="
+            f" {SPEEDUP_FLOOR}x serial at n={FLOOR_SIZE}, {FLOOR_WORKERS}"
+            " workers) is asserted only on machines with >="
+            f" {FLOOR_WORKERS} cpus; config.floor.gated records whether this"
+            " run enforced it."
+        ),
+        "join": join_rows,
+        "pairs_agreement": pairs_row,
+        "sampling": sampling_row,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not pairs_row["identical"]:
+        failures.append("parallel pair array differs from serial")
+    if not sampling_row["identical"]:
+        failures.append("parallel confidence interval differs from serial")
+    if floor_gated:
+        floor_rows = [
+            r
+            for r in join_rows
+            if r["n_per_side"] >= FLOOR_SIZE and r["workers"] == FLOOR_WORKERS
+        ]
+        slow = [r for r in floor_rows if r["speedup"] < SPEEDUP_FLOOR]
+        if slow:
+            failures.append(
+                f"parallel speedup below {SPEEDUP_FLOOR}x floor: "
+                + ", ".join(f"{r['speedup']:.2f}x at n={r['n_per_side']}" for r in slow)
+            )
+    if failures:
+        print("BENCH FAILURES:\n  " + "\n  ".join(failures))
+        return 1
+    print("all parallel claims hold" + ("" if floor_gated else " (speedup floor ungated: <4 cpus or --quick)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ from .ablations import (
     run_sample_join_ablation,
 )
 from .figures import format_pct, render_figure6, render_figure7
+from .golden import (
+    GOLDEN_ESTIMATORS,
+    GOLDEN_PAIRS,
+    GoldenMismatch,
+    build_corpus,
+    check_corpus,
+)
 from .stability import StabilityRow, render_stability, run_stability_experiment
 from .harness import (
     HISTOGRAM_SCHEMES,
@@ -22,7 +29,7 @@ from .harness import (
 )
 from .inventory import DatasetRow, PairRow, render_inventory, run_inventory
 from .report import write_csv
-from .timing import measure_best, measure_seconds
+from .timing import ShardTiming, measure_best, measure_seconds, shard_balance
 
 __all__ = [
     "PairContext",
@@ -38,6 +45,13 @@ __all__ = [
     "format_pct",
     "measure_seconds",
     "measure_best",
+    "ShardTiming",
+    "shard_balance",
+    "GOLDEN_PAIRS",
+    "GOLDEN_ESTIMATORS",
+    "GoldenMismatch",
+    "build_corpus",
+    "check_corpus",
     "AblationRow",
     "render_ablations",
     "run_gh_variant_ablation",

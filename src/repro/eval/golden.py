@@ -1,0 +1,184 @@
+"""Golden accuracy corpus: frozen datasets, exact counts, error floors.
+
+The corpus is a small set of *seeded* synthetic join pairs for which we
+commit (a) the exact intersecting-pair count — verified at test time
+against the parallel PBSM oracle — and (b) per-estimator relative-error
+baselines with a regression margin.  The committed file
+``tests/accuracy/golden_corpus.json`` is the contract; the ``pytest -m
+accuracy`` CI job replays it through :func:`check_corpus`.
+
+The estimators are fully deterministic given the spec (histograms and
+the parametric model are data-functions; the sampling entries carry a
+fixed seed), so any drift in a committed ``error_pct`` means an
+algorithmic change, not noise.  Regenerate deliberately with
+``python benchmarks/make_golden_corpus.py`` after such a change, and
+justify the new numbers in the PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..core import BasicGHEstimator, GHEstimator, ParametricEstimator, PHEstimator
+from ..core.metrics import relative_error_pct
+from ..datasets import (
+    SpatialDataset,
+    make_clustered,
+    make_diagonal,
+    make_gaussian_clusters,
+    make_grid_aligned,
+    make_uniform,
+)
+from ..sampling import SamplingJoinEstimator
+
+__all__ = [
+    "GOLDEN_PAIRS",
+    "GOLDEN_ESTIMATORS",
+    "GoldenMismatch",
+    "build_pair",
+    "build_corpus",
+    "check_corpus",
+]
+
+#: Corpus version — bump when specs/estimators change shape, so a stale
+#: committed file fails loudly instead of comparing the wrong things.
+CORPUS_VERSION = 1
+
+#: Margin applied to measured errors when freezing baselines: a corpus
+#: entry allows ``error_pct <= measured * MARGIN_FACTOR + MARGIN_FLOOR``.
+#: Wide enough to absorb float-summation jitter across platforms, tight
+#: enough that an estimator regression (wrong cell weights, broken
+#: normalization) trips the gate.
+MARGIN_FACTOR = 1.5
+MARGIN_FLOOR = 1.0  # percentage points
+
+
+@dataclass(frozen=True)
+class GoldenMismatch:
+    """One violated expectation from :func:`check_corpus`."""
+
+    pair: str
+    field: str  # "count" or the estimator key
+    expected: float
+    observed: float
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.pair}.{self.field}: expected {self.expected}, got {self.observed}"
+
+
+#: name -> zero-argument builder returning (ds1, ds2).  Seeds are part of
+#: the contract: the committed counts are only meaningful for these
+#: exact datasets.
+GOLDEN_PAIRS: Mapping[str, Callable[[], tuple[SpatialDataset, SpatialDataset]]] = {
+    "uniform_x_uniform": lambda: (
+        make_uniform(2000, seed=101, name="A"),
+        make_uniform(1800, seed=102, name="B"),
+    ),
+    "uniform_x_clustered": lambda: (
+        make_uniform(1600, seed=103, name="A"),
+        make_clustered(1500, seed=104, name="B"),
+    ),
+    "clusters_x_diagonal": lambda: (
+        make_gaussian_clusters(1700, seed=105, n_clusters=6, name="A"),
+        make_diagonal(1400, seed=106, name="B"),
+    ),
+    "grid_x_clustered": lambda: (
+        make_grid_aligned(1500, seed=107, name="A"),
+        make_clustered(1600, seed=108, name="B"),
+    ),
+}
+
+#: key -> estimator factory.  Factories (not instances) so check runs
+#: never share mutable state with build runs.
+GOLDEN_ESTIMATORS: Mapping[str, Callable[[], object]] = {
+    "parametric": ParametricEstimator,
+    "ph5": lambda: PHEstimator(level=5),
+    "gh6": lambda: GHEstimator(level=6),
+    "gh_basic6": lambda: BasicGHEstimator(level=6),
+    "rs_10": lambda: SamplingJoinEstimator("rs", 0.1, 0.1, seed=41),
+    "rswr_10": lambda: SamplingJoinEstimator("rswr", 0.1, 0.1, seed=41),
+    "ss_10": lambda: SamplingJoinEstimator("ss", 0.1, 0.1, seed=41),
+}
+
+
+def build_pair(name: str) -> tuple[SpatialDataset, SpatialDataset]:
+    """Materialize one corpus pair by name."""
+    return GOLDEN_PAIRS[name]()
+
+
+def _exact_count(ds1: SpatialDataset, ds2: SpatialDataset, *, workers: int) -> int:
+    from ..parallel import parallel_partition_join_count
+
+    return parallel_partition_join_count(
+        ds1.rects, ds2.rects, workers=workers, min_parallel=0
+    )
+
+
+def build_corpus(*, workers: int = 1) -> dict:
+    """Measure the corpus from scratch (what the regeneration script runs).
+
+    Returns the JSON-ready document: exact counts plus per-estimator
+    ``error_pct`` (measured) and ``max_error_pct`` (measured with the
+    regression margin applied).
+    """
+    pairs = {}
+    for name in GOLDEN_PAIRS:
+        ds1, ds2 = build_pair(name)
+        n1, n2 = len(ds1), len(ds2)
+        count = _exact_count(ds1, ds2, workers=workers)
+        actual = count / (n1 * n2)
+        estimators = {}
+        for key, factory in GOLDEN_ESTIMATORS.items():
+            error = relative_error_pct(factory().estimate(ds1, ds2), actual)
+            estimators[key] = {
+                "error_pct": round(error, 4),
+                "max_error_pct": round(error * MARGIN_FACTOR + MARGIN_FLOOR, 4),
+            }
+        pairs[name] = {
+            "n1": n1,
+            "n2": n2,
+            "exact_count": count,
+            "selectivity": actual,
+            "estimators": estimators,
+        }
+    return {"version": CORPUS_VERSION, "pairs": pairs}
+
+
+def check_corpus(corpus: dict, *, workers: int = 1) -> list[GoldenMismatch]:
+    """Replay a committed corpus; return every violated expectation.
+
+    Checks, per pair: dataset sizes, the exact count (recomputed through
+    the oracle with ``workers``), and that each estimator's current
+    relative error stays within its committed ``max_error_pct``.
+    """
+    if corpus.get("version") != CORPUS_VERSION:
+        raise ValueError(
+            f"corpus version {corpus.get('version')!r} != {CORPUS_VERSION}; regenerate"
+        )
+    mismatches: list[GoldenMismatch] = []
+    for name, entry in corpus["pairs"].items():
+        ds1, ds2 = build_pair(name)
+        if len(ds1) != entry["n1"] or len(ds2) != entry["n2"]:
+            mismatches.append(
+                GoldenMismatch(name, "size", entry["n1"], float(len(ds1)))
+            )
+            continue
+        count = _exact_count(ds1, ds2, workers=workers)
+        if count != entry["exact_count"]:
+            mismatches.append(
+                GoldenMismatch(name, "count", entry["exact_count"], count)
+            )
+            continue  # errors below would be vs a wrong ground truth
+        actual = count / (entry["n1"] * entry["n2"])
+        for key, expected in entry["estimators"].items():
+            factory = GOLDEN_ESTIMATORS.get(key)
+            if factory is None:
+                mismatches.append(GoldenMismatch(name, key, expected["max_error_pct"], float("nan")))
+                continue
+            error = relative_error_pct(factory().estimate(ds1, ds2), actual)
+            if error > expected["max_error_pct"]:
+                mismatches.append(
+                    GoldenMismatch(name, key, expected["max_error_pct"], round(error, 4))
+                )
+    return mismatches

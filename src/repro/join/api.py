@@ -6,6 +6,20 @@ computes the ground-truth selectivity every estimator in the library is
 scored against:
 
     selectivity(A, B) = |{(a, b) : a intersects b}| / (|A| * |B|)
+
+**Parallel oracle.**  Passing ``workers=N`` (N > 1) runs the partition
+engine on a process pool (:mod:`repro.parallel`) — same counts, same
+pairs, bit for bit — with automatic serial fallback for small inputs,
+active fault-injection scopes, and platforms without ``fork``.
+``workers`` applies to the ``"partition"`` engine (the ``"auto"``
+choice at scale); the other engines ignore it.
+
+**Ordering contract.**  Every ``*_pairs`` engine returns a unique
+``(k, 2)`` ``int64`` array sorted lexicographically by
+``(a_id, b_id)`` — ids index the original inputs.  Engines (and the
+serial vs parallel path) are therefore directly comparable with
+``np.array_equal``; the contract is pinned by
+``tests/join/test_ordering_contract.py``.
 """
 
 from __future__ import annotations
@@ -28,7 +42,17 @@ JoinMethod = Literal["auto", "nested", "sweep", "partition", "rtree"]
 _SMALL_INPUT = 512
 
 
-def join_count(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> int:
+def _parallel_requested(workers: int | None) -> bool:
+    return workers is not None and workers != 1
+
+
+def join_count(
+    a: RectArray,
+    b: RectArray,
+    *,
+    method: JoinMethod = "auto",
+    workers: int | None = None,
+) -> int:
     """Exact number of intersecting pairs between ``a`` and ``b``."""
     method = _resolve(a, b, method)
     if method == "nested":
@@ -36,11 +60,21 @@ def join_count(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> in
     if method == "sweep":
         return plane_sweep_count(a, b)
     if method == "partition":
+        if _parallel_requested(workers):
+            from ..parallel import parallel_partition_join_count
+
+            return parallel_partition_join_count(a, b, workers=workers)
         return partition_join_count(a, b)
     return rtree_join_count(bulk_load_str(a), bulk_load_str(b))
 
 
-def join_pairs(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> np.ndarray:
+def join_pairs(
+    a: RectArray,
+    b: RectArray,
+    *,
+    method: JoinMethod = "auto",
+    workers: int | None = None,
+) -> np.ndarray:
     """All intersecting pairs, lexicographically sorted ``(k, 2)`` id array."""
     method = _resolve(a, b, method)
     if method == "nested":
@@ -48,15 +82,25 @@ def join_pairs(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> np
     if method == "sweep":
         return plane_sweep_pairs(a, b)
     if method == "partition":
+        if _parallel_requested(workers):
+            from ..parallel import parallel_partition_join_pairs
+
+            return parallel_partition_join_pairs(a, b, workers=workers)
         return partition_join_pairs(a, b)
     return rtree_join_pairs(bulk_load_str(a), bulk_load_str(b))
 
 
-def actual_selectivity(a: RectArray, b: RectArray, *, method: JoinMethod = "auto") -> float:
+def actual_selectivity(
+    a: RectArray,
+    b: RectArray,
+    *,
+    method: JoinMethod = "auto",
+    workers: int | None = None,
+) -> float:
     """Ground-truth join selectivity (0 for empty inputs)."""
     if len(a) == 0 or len(b) == 0:
         return 0.0
-    return join_count(a, b, method=method) / (len(a) * len(b))
+    return join_count(a, b, method=method, workers=workers) / (len(a) * len(b))
 
 
 def _resolve(a: RectArray, b: RectArray, method: JoinMethod) -> JoinMethod:

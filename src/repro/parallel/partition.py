@@ -1,0 +1,340 @@
+"""Multiprocess PBSM: the partition join's grid sharded across workers.
+
+Tsitsigkos et al. ("Parallel In-Memory Evaluation of Spatial Joins",
+arXiv:1908.11740) observe that partition-based joins parallelize
+near-linearly once the grid's cells are sharded across workers.  This
+module applies that scheme to the serial PBSM in
+:mod:`repro.join.partition`:
+
+* the grid's rows are split into contiguous *bands* (a few bands per
+  worker, so stragglers rebalance);
+* each band is joined by :func:`repro.join.partition.join_band` — the
+  **same** kernel the serial path runs, including the reference-point
+  duplicate avoidance, which is decided cell-locally and therefore
+  shard-locally;
+* rect arrays are shipped to the pool once, via
+  ``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`); task
+  payloads carry only band indices.
+
+Because bands partition the grid's rows and every cell is processed by
+exactly one shard with byte-identical inputs, summing shard counts and
+canonically sorting the concatenated shard pairs reproduces the serial
+output *bit for bit* (asserted by the differential test matrix; proof
+sketch in DESIGN.md §9).
+
+**Serial fallback.**  :func:`parallel_partition_join_detailed` degrades
+to the in-process serial kernel — same results, ``fallback_reason`` set
+— when parallelism cannot pay or cannot preserve semantics: inputs below
+``min_parallel``, one effective worker, an active fault-injection hook
+(process boundaries would hide its checkpoints), or a platform without
+the ``fork`` start method.
+
+**Deadlines.**  An active :class:`repro.runtime.Deadline` *is*
+supported: the remaining budget is measured at submit time and installed
+inside each worker, whose band walk checkpoints cooperatively; the
+parent also checkpoints while collecting shards and cancels outstanding
+work on the first timeout.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.timing import ShardTiming
+from ..geometry import Rect, RectArray, common_extent
+from ..join.partition import canonical_pair_order, choose_grid_size, join_band
+from ..runtime import Deadline, active_scope, checkpoint, runtime_scope
+from .shm import SharedRects, attach_rects
+
+__all__ = [
+    "ParallelJoinResult",
+    "parallel_partition_join_count",
+    "parallel_partition_join_pairs",
+    "parallel_partition_join_detailed",
+    "resolve_workers",
+]
+
+#: Below this many total input rectangles the pool spin-up dominates any
+#: possible win; the engine silently runs the serial kernel instead.
+MIN_PARALLEL = 8192
+
+#: Contiguous grid-row bands submitted per worker.  More than one so the
+#: pool rebalances around skewed rows; few enough that per-band
+#: replication prework (an O(n) range computation) stays negligible.
+SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelJoinResult:
+    """Everything one parallel (or fallen-back serial) join run produced."""
+
+    count: int  #: exact intersecting-pair count
+    pairs: np.ndarray | None  #: canonical (k, 2) id array, if collected
+    workers: int  #: worker processes actually used (1 on fallback)
+    grid: int  #: PBSM grid side
+    shards: tuple[ShardTiming, ...]  #: per-band worker-side timings
+    fallback_reason: str | None  #: why the run stayed serial, if it did
+    elapsed_seconds: float  #: end-to-end wall-clock in the parent
+
+    @property
+    def parallel(self) -> bool:
+        """True if the run actually used a worker pool."""
+        return self.fallback_reason is None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers=`` argument (``None`` → CPU count)."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _fallback_reason(n_total: int, workers: int, min_parallel: int) -> str | None:
+    """The reason this call must run serially, or ``None`` to go parallel."""
+    if workers <= 1:
+        return "single worker requested"
+    if n_total < min_parallel:
+        return f"input below parallel threshold ({n_total} < {min_parallel})"
+    scope = active_scope()
+    if scope is not None and scope.hook is not None:
+        return "active runtime hook demands in-context checkpoints"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "platform lacks the fork start method"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Initializer state lives in module globals of the forked
+# child; tasks reference arrays through it instead of pickling them.
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _init_join_worker(
+    name_a: str, n_a: int, name_b: str, n_b: int, extent_tuple: tuple, grid: int
+) -> None:
+    _WORKER["a"] = attach_rects(name_a, n_a)
+    _WORKER["b"] = attach_rects(name_b, n_b)
+    _WORKER["extent"] = Rect(*extent_tuple)
+    _WORKER["grid"] = grid
+
+
+def _join_shard(
+    shard: int,
+    j_lo: int,
+    j_hi: int,
+    collect_pairs: bool,
+    deadline_seconds: float | None,
+):
+    """Join one grid-row band inside a worker process.
+
+    Installs the remaining parent deadline (if any) as a local
+    :class:`Deadline`, so the band walk's checkpoints can preempt the
+    shard exactly like the serial path would be preempted.
+    """
+    scope = (
+        runtime_scope(Deadline(deadline_seconds))
+        if deadline_seconds is not None
+        else nullcontext()
+    )
+    start = time.perf_counter()
+    with scope:
+        count, chunks = join_band(
+            _WORKER["a"],
+            _WORKER["b"],
+            _WORKER["extent"],
+            _WORKER["grid"],
+            j_lo,
+            j_hi,
+            collect_pairs=collect_pairs,
+        )
+    pairs = np.concatenate(chunks, axis=0) if chunks else None
+    return shard, j_hi - j_lo, count, pairs, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+def _band_edges(grid: int, n_shards: int) -> np.ndarray:
+    """Monotone row boundaries splitting ``[0, grid)`` into ``<= n_shards`` bands."""
+    edges = np.unique(np.linspace(0, grid, min(grid, n_shards) + 1).astype(np.int64))
+    return edges
+
+
+def _serial_result(
+    a: RectArray,
+    b: RectArray,
+    extent: Rect,
+    grid: int,
+    collect_pairs: bool,
+    reason: str,
+    start: float,
+) -> ParallelJoinResult:
+    t0 = time.perf_counter()
+    count, chunks = join_band(a, b, extent, grid, 0, grid, collect_pairs=collect_pairs)
+    seconds = time.perf_counter() - t0
+    pairs = None
+    if collect_pairs:
+        pairs = (
+            canonical_pair_order(np.concatenate(chunks, axis=0))
+            if chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+    return ParallelJoinResult(
+        count=count,
+        pairs=pairs,
+        workers=1,
+        grid=grid,
+        shards=(ShardTiming(shard=0, rows=grid, count=count, seconds=seconds),),
+        fallback_reason=reason,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def parallel_partition_join_detailed(
+    a: RectArray,
+    b: RectArray,
+    *,
+    workers: int | None = None,
+    grid: int | None = None,
+    extent: Rect | None = None,
+    collect_pairs: bool = False,
+    min_parallel: int = MIN_PARALLEL,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> ParallelJoinResult:
+    """Exact PBSM join with the grid sharded across a process pool.
+
+    Bit-identical to :func:`repro.join.partition.partition_join_count` /
+    ``partition_join_pairs`` on every input — parallelism only changes
+    which process walks which cells.  Returns the full
+    :class:`ParallelJoinResult` (count, optional canonical pairs,
+    per-shard timings, fallback provenance).
+    """
+    start = time.perf_counter()
+    workers = resolve_workers(workers)
+    if len(a) == 0 or len(b) == 0:
+        return ParallelJoinResult(
+            count=0,
+            pairs=np.empty((0, 2), dtype=np.int64) if collect_pairs else None,
+            workers=1,
+            grid=grid or 1,
+            shards=(),
+            fallback_reason="empty input",
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    if extent is None:
+        extent = common_extent(a, b)
+    if grid is None:
+        grid = choose_grid_size(len(a) + len(b))
+
+    reason = _fallback_reason(len(a) + len(b), workers, min_parallel)
+    if reason is None and grid < 2:
+        reason = "grid too small to shard"
+    if reason is not None:
+        return _serial_result(a, b, extent, grid, collect_pairs, reason, start)
+
+    checkpoint("parallel.partition.submit")
+    edges = _band_edges(grid, workers * shards_per_worker)
+    deadline = active_scope().deadline if active_scope() is not None else None
+    ctx = multiprocessing.get_context("fork")
+    shm_a = SharedRects(a)
+    shm_b = SharedRects(b)
+    shard_timings: list[ShardTiming] = []
+    pair_chunks: list[np.ndarray] = []
+    total = 0
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(edges) - 1),
+            mp_context=ctx,
+            initializer=_init_join_worker,
+            initargs=(shm_a.name, shm_a.n, shm_b.name, shm_b.n, extent.as_tuple(), grid),
+        ) as pool:
+            futures: list[Future] = []
+            for shard, (j_lo, j_hi) in enumerate(zip(edges[:-1], edges[1:])):
+                remaining = None
+                if deadline is not None and deadline.seconds is not None:
+                    remaining = max(0.0, deadline.remaining)
+                futures.append(
+                    pool.submit(
+                        _join_shard, shard, int(j_lo), int(j_hi), collect_pairs, remaining
+                    )
+                )
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending, timeout=0.1, return_when=FIRST_EXCEPTION)
+                    checkpoint("parallel.partition.collect")
+                    for future in done:
+                        shard, rows, count, pairs, seconds = future.result()
+                        total += count
+                        shard_timings.append(
+                            ShardTiming(shard=shard, rows=rows, count=count, seconds=seconds)
+                        )
+                        if pairs is not None:
+                            pair_chunks.append(pairs)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+    finally:
+        shm_a.cleanup()
+        shm_b.cleanup()
+
+    result_pairs = None
+    if collect_pairs:
+        result_pairs = (
+            canonical_pair_order(np.concatenate(pair_chunks, axis=0))
+            if pair_chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+    shard_timings.sort(key=lambda t: t.shard)
+    return ParallelJoinResult(
+        count=total,
+        pairs=result_pairs,
+        workers=min(workers, len(edges) - 1),
+        grid=grid,
+        shards=tuple(shard_timings),
+        fallback_reason=None,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def parallel_partition_join_count(
+    a: RectArray,
+    b: RectArray,
+    *,
+    workers: int | None = None,
+    grid: int | None = None,
+    extent: Rect | None = None,
+    min_parallel: int = MIN_PARALLEL,
+) -> int:
+    """Exact intersecting-pair count — the multiprocess oracle entry point."""
+    return parallel_partition_join_detailed(
+        a, b, workers=workers, grid=grid, extent=extent,
+        collect_pairs=False, min_parallel=min_parallel,
+    ).count
+
+
+def parallel_partition_join_pairs(
+    a: RectArray,
+    b: RectArray,
+    *,
+    workers: int | None = None,
+    grid: int | None = None,
+    extent: Rect | None = None,
+    min_parallel: int = MIN_PARALLEL,
+) -> np.ndarray:
+    """All intersecting pairs in the canonical ``(a_id, b_id)`` order."""
+    return parallel_partition_join_detailed(
+        a, b, workers=workers, grid=grid, extent=extent,
+        collect_pairs=True, min_parallel=min_parallel,
+    ).pairs

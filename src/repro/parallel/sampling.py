@@ -1,0 +1,109 @@
+"""Multiprocess driver for sampling-estimator replicas.
+
+The RS/RSWR/SS estimators are cheap individually but are evaluated in
+*replicas*: confidence intervals repeat the RSWR draw with derived
+seeds, and the accuracy gates sweep (method × fraction) grids over the
+same dataset pair.  Each replica is independent, so the natural unit of
+parallelism is one full ``estimate()`` call.
+
+:func:`parallel_sampling_estimates` ships both datasets to a process
+pool once (rect arrays via :mod:`repro.parallel.shm`, extent + name as
+initializer scalars) and fans the replica configurations out with
+``ProcessPoolExecutor.map`` — order-preserving, so results line up with
+the input configurations.  Every replica is seeded explicitly, which
+makes the parallel output *identical* (not merely identically
+distributed) to running the same configurations serially: estimator
+seeds fully determine RS/RSWR/SS draws.
+
+Falls back to an in-process loop — same configurations, same seeds, same
+values — when parallelism cannot pay or cannot preserve semantics:
+a single effective worker, fewer than two configurations, an active
+runtime scope (the sampling stages' checkpoints must stay in-context
+for deadlines and fault hooks to observe them), or no ``fork`` support.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from ..runtime import active_scope
+from .partition import resolve_workers
+from .shm import SharedRects, attach_rects
+
+__all__ = ["parallel_sampling_estimates"]
+
+
+_WORKER: dict = {}
+
+
+def _init_sampling_worker(
+    name1: str, n1: int, extent1: tuple, ds_name1: str,
+    name2: str, n2: int, extent2: tuple, ds_name2: str,
+) -> None:
+    _WORKER["ds1"] = SpatialDataset(
+        name=ds_name1, rects=attach_rects(name1, n1), extent=Rect(*extent1)
+    )
+    _WORKER["ds2"] = SpatialDataset(
+        name=ds_name2, rects=attach_rects(name2, n2), extent=Rect(*extent2)
+    )
+
+
+def _sampling_task(config: Mapping) -> float:
+    from ..sampling import SamplingJoinEstimator
+
+    return SamplingJoinEstimator(**config).estimate(_WORKER["ds1"], _WORKER["ds2"])
+
+
+def _serial(configs: Sequence[Mapping], ds1: SpatialDataset, ds2: SpatialDataset) -> list[float]:
+    from ..sampling import SamplingJoinEstimator
+
+    return [SamplingJoinEstimator(**config).estimate(ds1, ds2) for config in configs]
+
+
+def parallel_sampling_estimates(
+    configs: Sequence[Mapping],
+    ds1: SpatialDataset,
+    ds2: SpatialDataset,
+    *,
+    workers: int | None = None,
+) -> list[float]:
+    """One selectivity estimate per configuration, in input order.
+
+    ``configs`` holds keyword dictionaries for
+    :class:`~repro.sampling.SamplingJoinEstimator` (``method``,
+    ``fraction1``, ``fraction2``, ``seed``, ...).  Seeds must be
+    explicit for reproducibility; given that, the output is identical
+    whether the replicas run in the pool or in process.
+    """
+    workers = resolve_workers(workers)
+    if (
+        workers <= 1
+        or len(configs) <= 1
+        or len(ds1) == 0
+        or len(ds2) == 0
+        or active_scope() is not None
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return _serial(configs, ds1, ds2)
+
+    ctx = multiprocessing.get_context("fork")
+    shm1 = SharedRects(ds1.rects)
+    shm2 = SharedRects(ds2.rects)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(configs)),
+            mp_context=ctx,
+            initializer=_init_sampling_worker,
+            initargs=(
+                shm1.name, shm1.n, ds1.extent.as_tuple(), ds1.name,
+                shm2.name, shm2.n, ds2.extent.as_tuple(), ds2.name,
+            ),
+        ) as pool:
+            return list(pool.map(_sampling_task, [dict(c) for c in configs]))
+    finally:
+        shm1.cleanup()
+        shm2.cleanup()

@@ -1,0 +1,72 @@
+"""Golden accuracy gate: the committed corpus must replay exactly.
+
+``golden_corpus.json`` freezes, for four seeded synthetic join pairs:
+the exact intersecting-pair count (re-verified here through the
+*parallel* PBSM oracle, workers=2) and a per-estimator relative-error
+ceiling (measured error x1.5 + 1pp at freeze time).  A failure means an
+estimator or a generator changed behavior; regenerate deliberately with
+``python benchmarks/make_golden_corpus.py`` and justify the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.golden import (
+    CORPUS_VERSION,
+    GOLDEN_ESTIMATORS,
+    GOLDEN_PAIRS,
+    build_pair,
+    check_corpus,
+)
+from repro.join import partition_join_count
+
+pytestmark = pytest.mark.accuracy
+
+CORPUS_PATH = Path(__file__).parent / "golden_corpus.json"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return json.loads(CORPUS_PATH.read_text())
+
+
+def test_corpus_file_shape(corpus):
+    assert corpus["version"] == CORPUS_VERSION
+    assert set(corpus["pairs"]) == set(GOLDEN_PAIRS)
+    for entry in corpus["pairs"].values():
+        assert set(entry["estimators"]) == set(GOLDEN_ESTIMATORS)
+        for grades in entry["estimators"].values():
+            assert grades["max_error_pct"] >= grades["error_pct"]
+
+
+def test_corpus_replays_clean(corpus):
+    """The one gate: exact counts + every error ceiling, via the
+    parallel oracle."""
+    mismatches = check_corpus(corpus, workers=2)
+    assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PAIRS))
+def test_exact_counts_match_serial_engine(corpus, name):
+    """Counts were frozen through the parallel oracle; the serial PBSM
+    engine must agree (differential cross-check of the corpus itself)."""
+    ds1, ds2 = build_pair(name)
+    assert partition_join_count(ds1.rects, ds2.rects) == corpus["pairs"][name]["exact_count"]
+
+
+def test_corpus_rejects_stale_version(corpus):
+    stale = dict(corpus, version=CORPUS_VERSION - 1)
+    with pytest.raises(ValueError, match="regenerate"):
+        check_corpus(stale)
+
+
+def test_mismatch_reported_not_raised(corpus):
+    """check_corpus returns structured mismatches for tooling — a
+    corrupted count must surface as a GoldenMismatch, not an exception."""
+    name = sorted(GOLDEN_PAIRS)[0]
+    broken = json.loads(CORPUS_PATH.read_text())
+    broken["pairs"][name]["exact_count"] += 1
+    mismatches = check_corpus(broken)
+    assert any(m.pair == name and m.field == "count" for m in mismatches)

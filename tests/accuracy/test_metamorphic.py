@@ -1,0 +1,151 @@
+"""Metamorphic accuracy tests: selectivity is a *relative* quantity, so
+every estimator must be invariant under transformations that preserve
+the data's geometry relative to its extent:
+
+* **translation** of both datasets and their extents;
+* **uniform scaling** about the origin (we scale by powers of two, which
+  is exact in binary floating point — the grid assignment arithmetic
+  ``(x*s - xmin*s) / (cw*s)`` then reproduces the untransformed
+  quotients bit for bit);
+* **x/y axis swap** (the gridded schemes transpose their cell arrays;
+  their sums are permutation-invariant up to float summation order).
+
+Histogram/parametric estimates are compared with tolerances matched to
+the transform's exactness; the seeded sampling estimators must be
+invariant *in distribution* — same seed, same sample indices, so the
+estimate must survive exact transforms unchanged.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BasicGHEstimator,
+    GHEstimator,
+    ParametricEstimator,
+    PHEstimator,
+)
+from repro.datasets import SpatialDataset, make_clustered, make_gaussian_clusters, make_uniform
+from repro.geometry import Rect, RectArray
+from repro.sampling import SamplingJoinEstimator
+
+pytestmark = pytest.mark.accuracy
+
+
+# ----------------------------------------------------------------------
+# Dataset transforms (extent transformed alongside the data).
+# ----------------------------------------------------------------------
+def translate(ds: SpatialDataset, dx: float, dy: float) -> SpatialDataset:
+    extent = Rect(
+        ds.extent.xmin + dx, ds.extent.ymin + dy, ds.extent.xmax + dx, ds.extent.ymax + dy
+    )
+    return SpatialDataset(ds.name, ds.rects.translate(dx, dy), extent)
+
+
+def scale(ds: SpatialDataset, s: float) -> SpatialDataset:
+    extent = Rect(
+        ds.extent.xmin * s, ds.extent.ymin * s, ds.extent.xmax * s, ds.extent.ymax * s
+    )
+    return SpatialDataset(ds.name, ds.rects.scale(s), extent)
+
+
+def swap_axes(ds: SpatialDataset) -> SpatialDataset:
+    r = ds.rects
+    rects = RectArray(r.ymin, r.xmin, r.ymax, r.xmax, validate=False)
+    extent = Rect(ds.extent.ymin, ds.extent.xmin, ds.extent.ymax, ds.extent.xmax)
+    return SpatialDataset(ds.name, rects, extent)
+
+
+#: (transform applied to both datasets, relative tolerance).  Power-of-2
+#: scaling is bit-exact; translation/swap perturb float summation only.
+TRANSFORMS = {
+    "translate": (lambda ds: translate(ds, 0.5, -0.25), 1e-6),
+    "scale_pow2": (lambda ds: scale(ds, 4.0), 1e-12),
+    "swap_axes": (lambda ds: swap_axes(ds), 1e-9),
+}
+
+ESTIMATORS = {
+    "parametric": ParametricEstimator(),
+    "ph5": PHEstimator(level=5),
+    "gh6": GHEstimator(level=6),
+    "gh_basic6": BasicGHEstimator(level=6),
+}
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return {
+        "uniform_x_clustered": (
+            make_uniform(1500, seed=71, name="U"),
+            make_clustered(1200, seed=72, name="C"),
+        ),
+        "zipf_x_uniform": (
+            make_gaussian_clusters(1300, seed=73, n_clusters=5, name="Z"),
+            make_uniform(1100, seed=74, name="U2"),
+        ),
+    }
+
+
+@pytest.mark.parametrize("est_name", sorted(ESTIMATORS))
+@pytest.mark.parametrize("transform_name", sorted(TRANSFORMS))
+def test_histogram_estimators_invariant(pairs, est_name, transform_name):
+    estimator = ESTIMATORS[est_name]
+    transform, rel_tol = TRANSFORMS[transform_name]
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = estimator.estimate(ds1, ds2)
+        moved = estimator.estimate(transform(ds1), transform(ds2))
+        assert base > 0, f"{pair_name}: degenerate baseline"
+        assert math.isclose(base, moved, rel_tol=rel_tol), (
+            f"{est_name} not invariant under {transform_name} on {pair_name}: "
+            f"{base} vs {moved}"
+        )
+
+
+#: (method, transform) combinations where the sample *indices* are
+#: invariant, so the estimate must be bit-identical.  SS is excluded
+#: under axis swap on purpose: it samples along the Hilbert order, and
+#: swapping x/y reverses the Hilbert traversal (diagonal symmetry), so
+#: SS legitimately draws a different — equally valid — sample set.
+_EXACT_CASES = [
+    ("rs", "scale_pow2"),
+    ("rs", "swap_axes"),
+    ("rswr", "scale_pow2"),
+    ("rswr", "swap_axes"),
+    ("ss", "scale_pow2"),
+]
+
+
+@pytest.mark.parametrize("method,transform_name", _EXACT_CASES)
+def test_sampling_exact_transforms_bit_identical(pairs, method, transform_name):
+    """Exact transforms: same seed → same sample ids → identical count."""
+    transform, _ = TRANSFORMS[transform_name]
+    estimator = SamplingJoinEstimator(method, 0.3, 0.3, seed=17)
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = estimator.estimate(ds1, ds2)
+        moved = estimator.estimate(transform(ds1), transform(ds2))
+        assert base == moved, f"{method} under {transform_name} on {pair_name}"
+
+
+@pytest.mark.parametrize("method", ["rs", "rswr", "ss"])
+def test_sampling_translation_invariant(pairs, method):
+    """Translation rounds coordinates (~1 ulp); intersection gaps in the
+    generated data are ~12 orders of magnitude larger, so the sample
+    join count — and hence the estimate — must not change."""
+    transform, _ = TRANSFORMS["translate"]
+    estimator = SamplingJoinEstimator(method, 0.3, 0.3, seed=17)
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = estimator.estimate(ds1, ds2)
+        moved = estimator.estimate(transform(ds1), transform(ds2))
+        assert base == moved, f"{method} under translation on {pair_name}"
+
+
+def test_confidence_interval_invariant_in_distribution(pairs):
+    """Fixed-seed RSWR replicas: the whole interval must survive an
+    exact transform unchanged (same seeds, same draws)."""
+    transform, _ = TRANSFORMS["scale_pow2"]
+    ds1, ds2 = pairs["uniform_x_clustered"]
+    est = SamplingJoinEstimator("rswr", 0.25, 0.25, seed=23)
+    base = est.estimate_with_confidence(ds1, ds2, repeats=5)
+    moved = est.estimate_with_confidence(transform(ds1), transform(ds2), repeats=5)
+    assert base == moved

@@ -1,11 +1,19 @@
-"""Cross-engine agreement: all four exact joins must produce identical
-results on every input shape, including adversarial ones (touching
-edges, duplicates, points, heavy skew)."""
+"""Cross-engine agreement: all five exact joins (including the
+multiprocess partition engine) must produce identical results on every
+input shape, including adversarial ones (touching edges, duplicates,
+points, heavy skew)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.datasets import (
+    make_clustered,
+    make_diagonal,
+    make_gaussian_clusters,
+    make_grid_aligned,
+    make_uniform,
+)
 from repro.geometry import Rect, RectArray
 from repro.join import (
     nested_loop_count,
@@ -15,8 +23,18 @@ from repro.join import (
     plane_sweep_count,
     plane_sweep_pairs,
 )
+from repro.parallel import parallel_partition_join_count, parallel_partition_join_pairs
 from repro.rtree import bulk_load_str, rtree_join_count, rtree_join_pairs
 from tests.conftest import random_rects
+
+
+def _parallel_count(a, b):
+    return parallel_partition_join_count(a, b, workers=2, min_parallel=0)
+
+
+def _parallel_pairs(a, b):
+    return parallel_partition_join_pairs(a, b, workers=2, min_parallel=0)
+
 
 COUNTERS = {
     "nested": nested_loop_count,
@@ -30,22 +48,28 @@ PAIRERS = {
     "partition": partition_join_pairs,
     "rtree": lambda a, b: rtree_join_pairs(bulk_load_str(a), bulk_load_str(b)),
 }
+# The full differential matrix adds the multiprocess engine.  The
+# hypothesis property tests below keep the serial dicts: spinning one
+# worker pool per generated example would dominate their runtime without
+# adding coverage beyond the seeded matrix.
+ALL_COUNTERS = {**COUNTERS, "parallel": _parallel_count}
+ALL_PAIRERS = {**PAIRERS, "parallel": _parallel_pairs}
 
 
-def all_counts(a, b):
-    return {name: fn(a, b) for name, fn in COUNTERS.items()}
+def all_counts(a, b, counters=COUNTERS):
+    return {name: fn(a, b) for name, fn in counters.items()}
 
 
 class TestRandomInputs:
     def test_uniform(self, two_rect_sets):
         a, b = two_rect_sets
-        counts = all_counts(a, b)
+        counts = all_counts(a, b, ALL_COUNTERS)
         assert len(set(counts.values())) == 1, counts
 
     def test_pairs_identical(self, two_rect_sets):
         a, b = two_rect_sets
         reference = nested_loop_pairs(a, b)
-        for name, fn in PAIRERS.items():
+        for name, fn in ALL_PAIRERS.items():
             assert np.array_equal(fn(a, b), reference), name
 
     def test_skewed_vs_uniform(self, rng):
@@ -53,13 +77,13 @@ class TestRandomInputs:
         cy = 0.7 + 0.02 * rng.standard_normal(800)
         a = RectArray.from_centers(np.clip(cx, 0, 1), np.clip(cy, 0, 1), 0.01, 0.01)
         b = random_rects(rng, 800)
-        counts = all_counts(a, b)
+        counts = all_counts(a, b, ALL_COUNTERS)
         assert len(set(counts.values())) == 1, counts
 
     def test_points_vs_rects(self, rng):
         a = RectArray.from_points(rng.random(500), rng.random(500))
         b = random_rects(rng, 500)
-        counts = all_counts(a, b)
+        counts = all_counts(a, b, ALL_COUNTERS)
         assert len(set(counts.values())) == 1, counts
 
     def test_large_rects(self, rng):
@@ -67,8 +91,55 @@ class TestRandomInputs:
         # replication (PBSM) and active-list size (sweep).
         a = random_rects(rng, 150, max_side=0.9)
         b = random_rects(rng, 150, max_side=0.9)
-        counts = all_counts(a, b)
+        counts = all_counts(a, b, ALL_COUNTERS)
         assert len(set(counts.values())) == 1, counts
+
+
+#: Seeded dataset generators for the differential fuzz matrix — each row
+#: produces a (ds1, ds2) pair with a distinct spatial pathology.
+_MATRIX_PAIRS = {
+    "uniform_x_uniform": lambda: (
+        make_uniform(900, seed=11).rects,
+        make_uniform(700, seed=12).rects,
+    ),
+    "clustered_x_uniform": lambda: (
+        make_clustered(800, seed=21, spread=0.05).rects,
+        make_uniform(800, seed=22).rects,
+    ),
+    "zipf_x_diagonal": lambda: (
+        make_gaussian_clusters(850, seed=31, n_clusters=6).rects,
+        make_diagonal(650, seed=32).rects,
+    ),
+    "grid_x_clustered": lambda: (
+        make_grid_aligned(640, seed=41).rects,
+        make_clustered(700, seed=42, spread=0.2).rects,
+    ),
+}
+
+
+@pytest.mark.accuracy
+class TestDifferentialMatrix:
+    """Random datasets × all five engines: counts AND pair sets must
+    agree exactly.  This is the differential gate the parallel oracle is
+    held to — one seeded matrix row per spatial pathology."""
+
+    @pytest.mark.parametrize("pair_name", sorted(_MATRIX_PAIRS))
+    def test_counts_and_pairs_agree(self, pair_name):
+        a, b = _MATRIX_PAIRS[pair_name]()
+        reference_pairs = nested_loop_pairs(a, b)
+        reference_count = nested_loop_count(a, b)
+        assert reference_count == len(reference_pairs)
+        for name, fn in ALL_COUNTERS.items():
+            assert fn(a, b) == reference_count, f"{pair_name}: {name} count"
+        for name, fn in ALL_PAIRERS.items():
+            assert np.array_equal(fn(a, b), reference_pairs), f"{pair_name}: {name} pairs"
+
+    def test_parallel_matches_serial_across_worker_counts(self):
+        a, b = _MATRIX_PAIRS["clustered_x_uniform"]()
+        serial = partition_join_pairs(a, b)
+        for workers in (2, 3):
+            got = parallel_partition_join_pairs(a, b, workers=workers, min_parallel=0)
+            assert np.array_equal(got, serial), workers
 
 
 class TestEdgeCases:

@@ -1,0 +1,161 @@
+"""Unit tests for the multiprocess PBSM engine: fallback provenance,
+bit-identity, shard accounting, deadline threading, shm lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationTimeout
+from repro.eval.timing import ShardTiming, shard_balance
+from repro.geometry import RectArray
+from repro.join import join_count, join_pairs, partition_join_count, partition_join_pairs
+from repro.parallel import (
+    SharedRects,
+    attach_rects,
+    parallel_partition_join_count,
+    parallel_partition_join_detailed,
+    parallel_partition_join_pairs,
+    resolve_workers,
+)
+from repro.runtime import Deadline, runtime_scope
+from repro.service import FaultPlan, FaultSpec, inject_faults
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def medium_pair(rng):
+    return random_rects(rng, 3000), random_rects(rng, 2500)
+
+
+class TestBitIdentity:
+    def test_count_and_pairs_match_serial(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(
+            a, b, workers=2, collect_pairs=True, min_parallel=0
+        )
+        assert result.parallel
+        assert result.count == partition_join_count(a, b)
+        assert np.array_equal(result.pairs, partition_join_pairs(a, b))
+
+    def test_shard_counts_partition_the_total(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(a, b, workers=2, min_parallel=0)
+        assert sum(t.count for t in result.shards) == result.count
+        assert sum(t.rows for t in result.shards) == result.grid
+        assert all(isinstance(t, ShardTiming) and t.seconds >= 0 for t in result.shards)
+
+    def test_explicit_grid_respected(self, medium_pair):
+        a, b = medium_pair
+        serial = partition_join_count(a, b, grid=13)
+        result = parallel_partition_join_detailed(
+            a, b, workers=2, grid=13, min_parallel=0
+        )
+        assert result.grid == 13
+        assert result.count == serial
+
+
+class TestFallbacks:
+    def test_small_input_falls_back(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(a, b, workers=2)  # default threshold
+        assert not result.parallel
+        assert "threshold" in result.fallback_reason
+        assert result.count == partition_join_count(a, b)
+
+    def test_single_worker_falls_back(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(a, b, workers=1, min_parallel=0)
+        assert result.fallback_reason == "single worker requested"
+        assert result.workers == 1
+
+    def test_empty_input_short_circuits(self):
+        empty = RectArray.empty()
+        some = random_rects(np.random.default_rng(0), 10)
+        result = parallel_partition_join_detailed(empty, some, workers=2, min_parallel=0)
+        assert result.count == 0
+        assert result.fallback_reason == "empty input"
+
+    def test_active_fault_hook_forces_serial(self, medium_pair):
+        a, b = medium_pair
+        plan = FaultPlan([FaultSpec("never.fires", times=0)])
+        with inject_faults(plan):
+            result = parallel_partition_join_detailed(a, b, workers=2, min_parallel=0)
+        assert result.fallback_reason == "active runtime hook demands in-context checkpoints"
+        assert result.count == partition_join_count(a, b)
+
+    def test_fallback_still_collects_pairs(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(
+            a, b, workers=1, collect_pairs=True, min_parallel=0
+        )
+        assert np.array_equal(result.pairs, partition_join_pairs(a, b))
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestDeadline:
+    def test_expired_deadline_raises(self, medium_pair):
+        a, b = medium_pair
+        with runtime_scope(Deadline(0.0)):
+            with pytest.raises(EstimationTimeout):
+                parallel_partition_join_detailed(a, b, workers=2, min_parallel=0)
+
+    def test_generous_deadline_threads_through_workers(self, medium_pair):
+        a, b = medium_pair
+        with runtime_scope(Deadline(60.0)):
+            result = parallel_partition_join_detailed(a, b, workers=2, min_parallel=0)
+        assert result.parallel
+        assert result.count == partition_join_count(a, b)
+
+
+class TestApiWiring:
+    def test_join_count_workers(self, medium_pair):
+        a, b = medium_pair
+        assert join_count(a, b, workers=2) == join_count(a, b)
+
+    def test_join_pairs_workers(self, medium_pair):
+        a, b = medium_pair
+        assert np.array_equal(join_pairs(a, b, workers=2), join_pairs(a, b))
+
+    def test_convenience_wrappers(self, medium_pair):
+        a, b = medium_pair
+        count = parallel_partition_join_count(a, b, workers=2, min_parallel=0)
+        pairs = parallel_partition_join_pairs(a, b, workers=2, min_parallel=0)
+        assert count == len(pairs)
+
+
+class TestSharedMemory:
+    def test_roundtrip_same_process(self, rng):
+        rects = random_rects(rng, 123)
+        with SharedRects(rects) as shared:
+            back = attach_rects(shared.name, shared.n)
+            assert back == rects
+            # Idempotent attach returns the cached view.
+            assert attach_rects(shared.name, shared.n) is back
+
+    def test_empty_array_roundtrip(self):
+        with SharedRects(RectArray.empty()) as shared:
+            assert shared.n == 0
+
+    def test_cleanup_idempotent(self, rng):
+        shared = SharedRects(random_rects(rng, 10))
+        shared.cleanup()
+        shared.cleanup()  # second call must not raise
+
+
+class TestShardBalance:
+    def test_summary_fields(self, medium_pair):
+        a, b = medium_pair
+        result = parallel_partition_join_detailed(a, b, workers=2, min_parallel=0)
+        summary = shard_balance(result.shards)
+        assert summary["shards"] == len(result.shards)
+        assert summary["imbalance"] >= 1.0
+        assert summary["max_seconds"] <= summary["total_seconds"]
+
+    def test_empty_summary(self):
+        summary = shard_balance(())
+        assert summary["shards"] == 0
+        assert summary["imbalance"] == 1.0

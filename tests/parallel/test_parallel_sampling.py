@@ -1,0 +1,80 @@
+"""The multiprocess sampling-replica driver must be value-identical to
+the serial loop (seeds fully determine every draw)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered, make_uniform
+from repro.parallel import parallel_sampling_estimates
+from repro.runtime import Deadline, runtime_scope
+from repro.sampling import SamplingJoinEstimator
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_uniform(1200, seed=5, name="U"), make_clustered(1000, seed=6, name="C")
+
+
+def _configs(methods=("rs", "rswr", "ss"), seeds=(0, 1)):
+    return [
+        dict(method=m, fraction1=0.25, fraction2=0.25, seed=s)
+        for m in methods
+        for s in seeds
+    ]
+
+
+class TestValueIdentity:
+    def test_parallel_equals_serial(self, pair):
+        ds1, ds2 = pair
+        configs = _configs()
+        serial = parallel_sampling_estimates(configs, ds1, ds2, workers=1)
+        parallel = parallel_sampling_estimates(configs, ds1, ds2, workers=2)
+        assert serial == parallel
+
+    def test_order_preserved(self, pair):
+        ds1, ds2 = pair
+        configs = _configs(seeds=(3, 4, 5))
+        values = parallel_sampling_estimates(configs, ds1, ds2, workers=2)
+        direct = [SamplingJoinEstimator(**c).estimate(ds1, ds2) for c in configs]
+        assert values == direct
+
+
+class TestConfidenceWiring:
+    def test_confidence_interval_identical(self, pair):
+        ds1, ds2 = pair
+        est = SamplingJoinEstimator("rswr", 0.2, 0.2, seed=9)
+        serial = est.estimate_with_confidence(ds1, ds2, repeats=4)
+        par = est.estimate_with_confidence(ds1, ds2, repeats=4, workers=2)
+        assert serial == par
+
+    def test_rs_still_rejected(self, pair):
+        ds1, ds2 = pair
+        with pytest.raises(ValueError):
+            SamplingJoinEstimator("rs", 0.2, 0.2).estimate_with_confidence(
+                ds1, ds2, workers=2
+            )
+
+
+class TestFallbacks:
+    def test_active_scope_stays_serial_and_identical(self, pair):
+        ds1, ds2 = pair
+        configs = _configs(methods=("rs",), seeds=(0,)) * 2
+        with runtime_scope(Deadline(None)):
+            scoped = parallel_sampling_estimates(configs, ds1, ds2, workers=2)
+        unscoped = parallel_sampling_estimates(configs, ds1, ds2, workers=1)
+        assert scoped == unscoped
+
+    def test_empty_dataset_serial(self, pair):
+        ds1, _ = pair
+        empty = make_uniform(0, seed=0, name="E")
+        values = parallel_sampling_estimates(
+            _configs(seeds=(0, 1)), ds1, empty, workers=2
+        )
+        assert values == [0.0] * 6
+
+    def test_single_config_serial(self, pair):
+        ds1, ds2 = pair
+        values = parallel_sampling_estimates(
+            _configs(methods=("rs",), seeds=(0,)), ds1, ds2, workers=2
+        )
+        assert len(values) == 1 and values[0] >= 0.0

@@ -30,6 +30,7 @@ class TestExports:
             "repro.eval",
             "repro.service",
             "repro.perf",
+            "repro.parallel",
         ],
     )
     def test_subpackage_all_resolves(self, module):
