@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Run the full static-analysis gate locally.
+#
+# `repro.lint` is pure stdlib and always runs.  ruff and mypy are
+# optional extras (`pip install -e ".[lint,typecheck]"`); when they are
+# not installed this script skips them with a note instead of failing,
+# so the domain-invariant gate stays usable in minimal environments.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== repro.lint =="
+PYTHONPATH=src python -m repro.lint src tests --statistics || status=1
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests || status=1
+else
+    echo "ruff not installed; skipping (pip install -e \".[lint]\")"
+fi
+
+echo "== mypy =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy || status=1
+else
+    echo "mypy not installed; skipping (pip install -e \".[typecheck]\")"
+fi
+
+exit "$status"

@@ -9,8 +9,6 @@ well-formed, non-degenerate universe.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .rect import Rect
 from .rectarray import RectArray
 

@@ -18,7 +18,7 @@ All accept sequences of coordinate arrays; no geometry library needed.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -26,8 +26,16 @@ from .rectarray import RectArray
 
 __all__ = ["points_mbrs", "polyline_mbrs", "segment_mbrs", "polygon_mbrs"]
 
+#: Accepted vertex encodings: an ``(n, 2)`` array (or nested sequence)
+#: or an ``(xs, ys)`` pair of coordinate vectors.
+Coords = Union[
+    np.ndarray,
+    Sequence[Sequence[float]],
+    "tuple[np.ndarray | Sequence[float], np.ndarray | Sequence[float]]",
+]
 
-def _as_xy(coords) -> tuple[np.ndarray, np.ndarray]:
+
+def _as_xy(coords: Coords) -> tuple[np.ndarray, np.ndarray]:
     """Accept an (n, 2) array or an (xs, ys) pair."""
     if isinstance(coords, tuple) and len(coords) == 2:
         x = np.asarray(coords[0], dtype=np.float64)
@@ -45,19 +53,19 @@ def _as_xy(coords) -> tuple[np.ndarray, np.ndarray]:
     return x, y
 
 
-def points_mbrs(coords) -> RectArray:
+def points_mbrs(coords: Coords) -> RectArray:
     """Degenerate MBRs for point features."""
     x, y = _as_xy(coords)
     return RectArray.from_points(x, y)
 
 
-def polyline_mbrs(polylines: Iterable) -> RectArray:
+def polyline_mbrs(polylines: Iterable[Coords]) -> RectArray:
     """One MBR per polyline (its full bounding box).
 
     Each element of ``polylines`` is an ``(n, 2)`` vertex array (or
     ``(xs, ys)`` pair) with at least one vertex.
     """
-    boxes = []
+    boxes: list[tuple[float, float, float, float]] = []
     for line in polylines:
         x, y = _as_xy(line)
         if len(x) == 0:
@@ -69,7 +77,7 @@ def polyline_mbrs(polylines: Iterable) -> RectArray:
     return RectArray(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3], validate=False)
 
 
-def segment_mbrs(polylines: Iterable) -> RectArray:
+def segment_mbrs(polylines: Iterable[Coords]) -> RectArray:
     """One MBR per polyline segment (consecutive vertex pair).
 
     This is the granularity of the paper's TS/CAS/CAR datasets: a
@@ -95,14 +103,14 @@ def segment_mbrs(polylines: Iterable) -> RectArray:
     return RectArray.concatenate(parts)
 
 
-def polygon_mbrs(polygons: Iterable) -> RectArray:
+def polygon_mbrs(polygons: Iterable[Coords]) -> RectArray:
     """One MBR per polygon (outer-ring vertex array).
 
     Rings need not be closed; only the vertex extent matters for the
     bounding box.  Degenerate rings (fewer than 3 vertices) are
     rejected — they are not polygons.
     """
-    boxes = []
+    boxes: list[tuple[float, float, float, float]] = []
     for ring in polygons:
         x, y = _as_xy(ring)
         if len(x) < 3:

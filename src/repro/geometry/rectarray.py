@@ -9,7 +9,7 @@ path and lets the estimators express their math as whole-array kernels.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union, overload
 
 import numpy as np
 
@@ -122,7 +122,15 @@ class RectArray:
     def __len__(self) -> int:
         return len(self.xmin)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: Union[int, np.integer]) -> Rect: ...
+
+    @overload
+    def __getitem__(self, index: Union[slice, np.ndarray, Sequence[int]]) -> "RectArray": ...
+
+    def __getitem__(
+        self, index: Union[int, np.integer, slice, np.ndarray, Sequence[int]]
+    ) -> Union[Rect, "RectArray"]:
         """Integer index -> :class:`Rect`; slice/mask/array -> :class:`RectArray`."""
         if isinstance(index, (int, np.integer)):
             return Rect(

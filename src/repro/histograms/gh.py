@@ -74,10 +74,10 @@ class GHHistogram:
         grid = Grid(extent or dataset.extent, level)
         rects = dataset.rects
         cells = grid.cell_count
-        c = np.zeros(cells)
-        o = np.zeros(cells)
-        h = np.zeros(cells)
-        v = np.zeros(cells)
+        c = np.zeros(cells, dtype=np.float64)
+        o = np.zeros(cells, dtype=np.float64)
+        h = np.zeros(cells, dtype=np.float64)
+        v = np.zeros(cells, dtype=np.float64)
         if len(rects):
             # Cooperative checkpoints between the vectorized stages let a
             # per-call deadline (and the fault harness) preempt the build.

@@ -54,10 +54,10 @@ class BasicGHHistogram:
         grid = Grid(extent or dataset.extent, level)
         rects = dataset.rects
         cells = grid.cell_count
-        c = np.zeros(cells)
-        i_cnt = np.zeros(cells)
-        h = np.zeros(cells)
-        v = np.zeros(cells)
+        c = np.zeros(cells, dtype=np.float64)
+        i_cnt = np.zeros(cells, dtype=np.float64)
+        h = np.zeros(cells, dtype=np.float64)
+        v = np.zeros(cells, dtype=np.float64)
         if len(rects):
             checkpoint("gh_basic.build")
             if fast_build_enabled():

@@ -74,14 +74,14 @@ class PHHistogram:
         grid = Grid(extent or dataset.extent, level)
         rects = dataset.rects
         cells = grid.cell_count
-        num = np.zeros(cells)
-        area_sum = np.zeros(cells)
-        w_sum = np.zeros(cells)
-        h_sum = np.zeros(cells)
-        num_i = np.zeros(cells)
-        area_sum_i = np.zeros(cells)
-        w_sum_i = np.zeros(cells)
-        h_sum_i = np.zeros(cells)
+        num = np.zeros(cells, dtype=np.float64)
+        area_sum = np.zeros(cells, dtype=np.float64)
+        w_sum = np.zeros(cells, dtype=np.float64)
+        h_sum = np.zeros(cells, dtype=np.float64)
+        num_i = np.zeros(cells, dtype=np.float64)
+        area_sum_i = np.zeros(cells, dtype=np.float64)
+        w_sum_i = np.zeros(cells, dtype=np.float64)
+        h_sum_i = np.zeros(cells, dtype=np.float64)
 
         if len(rects):
             # Cooperative checkpoints between the vectorized stages let a

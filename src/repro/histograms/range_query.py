@@ -55,8 +55,8 @@ def range_count_gh(hist: GHHistogram, query: Rect) -> float:
     # Corner cells of the query (each corner in exactly one cell).
     ip = 0.0
     for x, y in query.corners():
-        ci = int(grid.column_of(np.array([x]))[0])
-        cj = int(grid.row_of(np.array([y]))[0])
+        ci = int(grid.column_of(np.array([x], dtype=np.float64))[0])
+        cj = int(grid.row_of(np.array([y], dtype=np.float64))[0])
         ip += hist.o[cj * grid.side + ci]  # C_q * O of 1 per corner
 
     # O-side: query's area mass against dataset corners.
@@ -66,10 +66,10 @@ def range_count_gh(hist: GHHistogram, query: Rect) -> float:
     # clipped per cell.  Reuse the per-cell clip pieces: a horizontal
     # edge of the query lives in the rows of ymin/ymax; the piece of the
     # edge inside a touched cell has the clipped piece's width.
-    j_bottom = int(grid.row_of(np.array([query.ymin]))[0])
-    j_top = int(grid.row_of(np.array([query.ymax]))[0])
-    i_left = int(grid.column_of(np.array([query.xmin]))[0])
-    i_right = int(grid.column_of(np.array([query.xmax]))[0])
+    j_bottom = int(grid.row_of(np.array([query.ymin], dtype=np.float64))[0])
+    j_top = int(grid.row_of(np.array([query.ymax], dtype=np.float64))[0])
+    i_left = int(grid.column_of(np.array([query.xmin], dtype=np.float64))[0])
+    i_right = int(grid.column_of(np.array([query.xmax], dtype=np.float64))[0])
     h_ratio = clipped.widths() / grid.cell_width
     v_ratio = clipped.heights() / grid.cell_height
     for row in {j_bottom, j_top} if j_bottom != j_top else {j_bottom}:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import RectArray
+from ..runtime import checkpoint
 
 __all__ = ["nested_loop_count", "nested_loop_pairs"]
 
@@ -25,6 +26,9 @@ def nested_loop_count(a: RectArray, b: RectArray, *, block: int = _DEFAULT_BLOCK
         return 0
     total = 0
     for s in range(0, len(a), block):
+        # One cooperative checkpoint per block row: the O(n*m) scan honors
+        # deadlines without per-pair overhead.
+        checkpoint("join.naive.block")
         axm = a.xmin[s : s + block][:, None]
         axM = a.xmax[s : s + block][:, None]
         aym = a.ymin[s : s + block][:, None]
@@ -44,6 +48,7 @@ def nested_loop_pairs(a: RectArray, b: RectArray, *, block: int = _DEFAULT_BLOCK
     """All intersecting pairs as a lexicographically sorted ``(k, 2)`` id array."""
     chunks: list[np.ndarray] = []
     for s in range(0, len(a), block):
+        checkpoint("join.naive.block")
         axm = a.xmin[s : s + block][:, None]
         axM = a.xmax[s : s + block][:, None]
         aym = a.ymin[s : s + block][:, None]

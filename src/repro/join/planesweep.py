@@ -18,8 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import RectArray
+from ..runtime import checkpoint
 
 __all__ = ["plane_sweep_count", "plane_sweep_pairs"]
+
+#: Sweep events between cooperative checkpoints (power of two so the
+#: stride test is a mask); small enough that a deadline interrupts the
+#: sweep within a fraction of a millisecond of work.
+_CHECKPOINT_STRIDE = 4096
 
 
 class _ActiveList:
@@ -90,7 +96,11 @@ def _sweep(a: RectArray, b: RectArray, *, collect_pairs: bool):
     count = 0
     pair_chunks: list[np.ndarray] = []
     ia = ib = 0
+    events = 0
     while ia < na or ib < nb:
+        if events & (_CHECKPOINT_STRIDE - 1) == 0:
+            checkpoint("join.planesweep.events")
+        events += 1
         take_a = ia < na and (ib >= nb or a.xmin[order_a[ia]] <= b.xmin[order_b[ib]])
         if take_a:
             idx = int(order_a[ia])

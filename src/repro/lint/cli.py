@@ -1,0 +1,114 @@
+"""``python -m repro.lint`` — the command-line gate.
+
+Exit codes: 0 clean, 1 diagnostics found, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .engine import run_lint
+from .rules import RULES
+
+__all__ = ["main"]
+
+#: Version of the JSON output schema (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def _rule_list(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro estimation stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_rule_list,
+        metavar="R001,R002",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_rule_list,
+        metavar="R003",
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule violation count (text format)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.name:<20} {rule.summary}")
+        return 0
+
+    try:
+        report = run_lint(args.paths, select=args.select, ignore=args.ignore)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": report.files_checked,
+            "clean": report.clean,
+            "diagnostics": [diag.as_dict() for diag in report.diagnostics],
+            "summary": report.counts_by_rule(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+
+    for diag in report.diagnostics:
+        print(diag.format_text())
+    if args.statistics and report.diagnostics:
+        print()
+        for rule_id, count in report.counts_by_rule().items():
+            name = RULES[rule_id].name if rule_id in RULES else "parse-error"
+            print(f"{rule_id} [{name}]: {count}")
+    if report.clean:
+        print(f"repro.lint: {report.files_checked} files checked, no violations")
+        return 0
+    print(
+        f"repro.lint: {report.files_checked} files checked, "
+        f"{len(report.diagnostics)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Per-file lint context: parsed AST, package identity, module index.
+
+Rule applicability is decided by *package identity*, not filesystem
+layout: a file's dotted module name is recovered by walking up through
+directories that carry an ``__init__.py``.  This makes the rules follow
+the code wherever the package root lives — ``src/repro/...`` in the
+repo, a site-packages checkout, or a test fixture tree that mirrors the
+``repro`` package shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+from .suppressions import SuppressionIndex
+
+__all__ = ["FileContext", "ModuleIndex", "module_name_for"]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name implied by the ``__init__.py`` chain above ``path``.
+
+    Returns ``""`` for a file that is not part of any package (no
+    ``__init__.py`` beside it).
+    """
+    path = path.resolve()
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts == [path.stem]:  # no package chain at all
+        return ""
+    return ".".join(reversed(parts))
+
+
+#: Sentinel bindings result: the module uses ``import *`` (or could not
+#: be parsed), so its top-level namespace cannot be enumerated statically.
+UNKNOWN_BINDINGS = None
+
+
+class ModuleIndex:
+    """Cached static view of other modules' top-level namespaces.
+
+    Used by the export-soundness rule (R006) to answer "does
+    ``repro.geometry.rect`` bind the name ``Rect``?" without importing
+    anything.  Results are cached per resolved path for the lifetime of
+    one lint run.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[Path, frozenset[str] | None] = {}
+
+    def resolve_relative(
+        self, importer: Path, level: int, module: str | None
+    ) -> Path | None:
+        """The file implementing a relative import target, or ``None``.
+
+        ``importer`` is the importing file; ``level``/``module`` come
+        from the :class:`ast.ImportFrom` node.  Packages resolve to
+        their ``__init__.py``.
+        """
+        # Level 1 resolves against the directory containing the importer
+        # (for an ``__init__.py`` that directory *is* the package); each
+        # further level climbs one package.
+        base = importer.resolve().parent
+        for _ in range(level - 1):
+            base = base.parent
+        if module:
+            for part in module.split("."):
+                base = base / part
+        if base.is_dir():
+            init = base / "__init__.py"
+            return init if init.is_file() else None
+        as_file = base.with_suffix(".py")
+        return as_file if as_file.is_file() else None
+
+    def top_level_bindings(self, path: Path) -> frozenset[str] | None:
+        """Names bound at module top level (incl. inside top-level
+        ``if``/``try``/``with``/``for`` blocks), or :data:`UNKNOWN_BINDINGS`
+        when the namespace cannot be determined statically."""
+        path = path.resolve()
+        if path in self._bindings:
+            return self._bindings[path]
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            self._bindings[path] = UNKNOWN_BINDINGS
+            return UNKNOWN_BINDINGS
+        names: set[str] = set()
+        unknown = self._collect(tree.body, names)
+        result = UNKNOWN_BINDINGS if unknown else frozenset(names)
+        self._bindings[path] = result
+        return result
+
+    def has_submodule(self, package_init: Path, name: str) -> bool:
+        """True if the package owning ``package_init`` contains submodule ``name``."""
+        pkg_dir = package_init.resolve().parent
+        return (pkg_dir / f"{name}.py").is_file() or (
+            pkg_dir / name / "__init__.py"
+        ).is_file()
+
+    def _collect(self, stmts: list[ast.stmt], names: set[str]) -> bool:
+        """Accumulate bound names; returns True on a star import."""
+        unknown = False
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        unknown = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._collect_target(target, names)
+            elif isinstance(stmt, ast.AnnAssign):
+                self._collect_target(stmt.target, names)
+            elif isinstance(stmt, ast.AugAssign):
+                self._collect_target(stmt.target, names)
+            elif isinstance(stmt, ast.If):
+                unknown |= self._collect(stmt.body, names)
+                unknown |= self._collect(stmt.orelse, names)
+            elif isinstance(stmt, ast.Try):
+                unknown |= self._collect(stmt.body, names)
+                unknown |= self._collect(stmt.orelse, names)
+                unknown |= self._collect(stmt.finalbody, names)
+                for handler in stmt.handlers:
+                    unknown |= self._collect(handler.body, names)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                unknown |= self._collect(stmt.body, names)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    self._collect_target(stmt.target, names)
+                unknown |= self._collect(stmt.body, names)
+                unknown |= self._collect(stmt.orelse, names)
+        return unknown
+
+    @staticmethod
+    def _collect_target(target: ast.expr, names: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                ModuleIndex._collect_target(elt, names)
+        elif isinstance(target, ast.Starred):
+            ModuleIndex._collect_target(target.value, names)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    path: Path  #: resolved filesystem path
+    display_path: str  #: path as reported in diagnostics
+    source: str
+    tree: ast.Module
+    module: str  #: dotted module name ("" outside any package)
+    suppressions: SuppressionIndex
+    index: ModuleIndex = field(default_factory=ModuleIndex)
+
+    @property
+    def in_repro(self) -> bool:
+        """True when the file belongs to the ``repro`` library package."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    def subpackage(self) -> str:
+        """Second dotted component (``"histograms"`` for ``repro.histograms.gh``)."""
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+    def diagnostic(
+        self, rule_id: str, rule_name: str, node: ast.AST | int, message: str
+    ) -> Diagnostic:
+        if isinstance(node, int):
+            line, col = node, 1
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(
+            rule=rule_id,
+            name=rule_name,
+            path=self.display_path,
+            line=line,
+            col=col,
+            message=message,
+        )

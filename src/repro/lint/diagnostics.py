@@ -1,0 +1,42 @@
+"""Diagnostic records produced by the lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: a rule violated at a source location.
+
+    ``line``/``col`` are 1-based (``col`` is the 1-based column, i.e.
+    the AST ``col_offset`` plus one, matching compiler conventions).
+    """
+
+    rule: str  #: rule id, e.g. "R001"
+    name: str  #: rule slug, e.g. "global-rng"
+    path: str  #: file path as given to the engine (repo-relative in CI)
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        """The classic ``path:line:col: RULE [slug] message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.name}] {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the documented output schema)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

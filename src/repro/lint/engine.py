@@ -1,0 +1,158 @@
+"""File collection and rule execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .context import FileContext, ModuleIndex, module_name_for
+from .diagnostics import Diagnostic
+from .rules import PARSE_ERROR_RULE, RULES
+from .suppressions import SuppressionIndex
+
+__all__ = ["LintReport", "iter_python_files", "lint_file", "run_lint"]
+
+#: Directory names never descended into when walking a directory
+#: argument.  ``fixtures`` keeps the lint test corpus (files with
+#: intentional violations) out of tree-wide runs; passing a fixture file
+#: *explicitly* always lints it.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist",
+     ".eggs", "node_modules", "fixtures"}
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand path arguments into ``.py`` files, deterministically ordered.
+
+    Directories are walked recursively minus :data:`DEFAULT_EXCLUDED_DIRS`;
+    explicit file arguments are yielded as-is (even inside excluded
+    directories).  Missing paths raise :class:`FileNotFoundError` so a
+    typo'd CI invocation fails loudly instead of certifying nothing.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+        elif path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in DEFAULT_EXCLUDED_DIRS
+                )
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    file = Path(dirpath) / filename
+                    resolved = file.resolve()
+                    if resolved not in seen:
+                        seen.add(resolved)
+                        yield file
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def _select_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[str]:
+    ids = list(RULES)
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(ids)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        ids = [rid for rid in ids if rid in wanted]
+    if ignore is not None:
+        unwanted = set(ignore)
+        unknown = unwanted - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        ids = [rid for rid in ids if rid not in unwanted]
+    return ids
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    index: ModuleIndex | None = None,
+) -> list[Diagnostic]:
+    """Lint one file; returns its (suppression-filtered) diagnostics."""
+    path = Path(path)
+    display = str(path)
+    rule_ids = _select_rules(select, ignore)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display)
+    except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+        rule_id, rule_name = PARSE_ERROR_RULE
+        line = getattr(exc, "lineno", None) or 1
+        return [
+            Diagnostic(
+                rule=rule_id,
+                name=rule_name,
+                path=display,
+                line=line,
+                col=getattr(exc, "offset", None) or 1,
+                message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+            )
+        ]
+    ctx = FileContext(
+        path=path.resolve(),
+        display_path=display,
+        source=source,
+        tree=tree,
+        module=module_name_for(path),
+        suppressions=SuppressionIndex.from_source(source),
+        index=index if index is not None else ModuleIndex(),
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule_id in rule_ids:
+        for diag in RULES[rule_id].run(ctx):
+            if not ctx.suppressions.is_suppressed(diag.rule, diag.line):
+                diagnostics.append(diag)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths``."""
+    report = LintReport()
+    index = ModuleIndex()  # share the cross-file cache across the run
+    for file in iter_python_files(paths):
+        report.files_checked += 1
+        report.diagnostics.extend(
+            lint_file(file, select=select, ignore=ignore, index=index)
+        )
+    report.diagnostics.sort(key=Diagnostic.sort_key)
+    return report

@@ -1,0 +1,527 @@
+"""The domain rules and their registry.
+
+Each rule guards one invariant the estimation stack's correctness
+arguments rest on; DESIGN.md §10 documents the invariant, the failure
+mode it prevents, and the sanctioned escape hatches.  Rules are pure
+functions over a :class:`~repro.lint.context.FileContext` returning
+:class:`~repro.lint.diagnostics.Diagnostic` lists; the engine applies
+suppressions afterwards, so rules never need to look at comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .context import UNKNOWN_BINDINGS, FileContext
+from .diagnostics import Diagnostic
+
+__all__ = ["Rule", "RULES", "PARSE_ERROR_RULE"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    id: str
+    name: str
+    summary: str  #: one line for --list-rules
+    check: Callable[[FileContext], list[Diagnostic]]
+
+    def run(self, ctx: FileContext) -> list[Diagnostic]:
+        return self.check(ctx)
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    """``np.random.uniform`` -> ("np", "random", "uniform"); None if the
+    chain is rooted in anything but a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _statement_weight(stmts: list[ast.stmt]) -> int:
+    """Recursive count of statement nodes under ``stmts``."""
+    return sum(
+        1
+        for stmt in stmts
+        for node in ast.walk(stmt)
+        if isinstance(node, ast.stmt)
+    )
+
+
+def _calls_checkpoint(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "checkpoint":
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# R001 — seeded-RNG discipline
+# ----------------------------------------------------------------------
+
+#: numpy.random attributes that *construct* seedable generators (allowed);
+#: everything else on the module draws from hidden global state.
+_RNG_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+
+def _check_global_rng(ctx: FileContext) -> list[Diagnostic]:
+    if not ctx.in_repro:
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        if parts is None:
+            continue
+        if parts[:2] in (("np", "random"), ("numpy", "random")) and len(parts) == 3:
+            if parts[2] not in _RNG_CONSTRUCTORS:
+                out.append(
+                    ctx.diagnostic(
+                        "R001",
+                        "global-rng",
+                        node,
+                        f"call to global RNG '{'.'.join(parts)}' — stochastic "
+                        "paths must draw from an explicit numpy Generator "
+                        "(seed one with np.random.default_rng(seed) at the "
+                        "API boundary and pass it down)",
+                    )
+                )
+        elif parts[0] == "random" and len(parts) == 2:
+            out.append(
+                ctx.diagnostic(
+                    "R001",
+                    "global-rng",
+                    node,
+                    f"call to stdlib global RNG 'random.{parts[1]}' — use an "
+                    "explicit numpy Generator parameter instead",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R002 — checkpoint coverage in kernel loops
+# ----------------------------------------------------------------------
+
+#: Subpackages whose loops are long-running kernels.
+_KERNEL_SUBPACKAGES = frozenset({"histograms", "join", "parallel", "sampling"})
+
+#: A loop whose body exceeds this many statements (recursively) is
+#: considered a long path that must be cooperatively preemptible.
+CHECKPOINT_STATEMENT_THRESHOLD = 8
+
+
+def _check_checkpoint_coverage(ctx: FileContext) -> list[Diagnostic]:
+    if not (ctx.in_repro and ctx.subpackage() in _KERNEL_SUBPACKAGES):
+        return []
+    out = []
+    # Map each loop to its innermost enclosing function (if any).
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.For | ast.While, ast.AST | None]]:
+        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_func:
+            stack.append(node)
+        if isinstance(node, (ast.For, ast.While)):
+            yield node, (stack[-1] if stack else None)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if is_func:
+            stack.pop()
+
+    for loop, func in visit(ctx.tree):
+        weight = _statement_weight(loop.body) + _statement_weight(loop.orelse)
+        if weight <= CHECKPOINT_STATEMENT_THRESHOLD:
+            continue
+        if _calls_checkpoint(loop) or (func is not None and _calls_checkpoint(func)):
+            continue
+        out.append(
+            ctx.diagnostic(
+                "R002",
+                "missing-checkpoint",
+                loop,
+                f"kernel loop spans {weight} statements with no "
+                "runtime.checkpoint() on the path — long loops must stay "
+                "preemptible by deadlines and the fault harness (add a "
+                "checkpoint, e.g. strided every N iterations)",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R003 — raise sites use the error taxonomy
+# ----------------------------------------------------------------------
+
+#: Builtins whose semantics the taxonomy deliberately does not subsume:
+#: programming errors and OS/container faults keep their native types.
+_APPROVED_BUILTIN_RAISES = frozenset(
+    {"ValueError", "TypeError", "KeyError", "IndexError", "AttributeError",
+     "NotImplementedError", "AssertionError", "StopIteration", "SystemExit",
+     "OSError", "FileNotFoundError", "IsADirectoryError", "PermissionError"}
+)
+
+#: Dotted raises that are fine as-is (CLI argument validation).
+_APPROVED_DOTTED_RAISES = frozenset({"argparse.ArgumentTypeError"})
+
+#: Fallback taxonomy when the tree being linted carries no
+#: ``repro/errors.py`` (e.g. a partial fixture tree).
+_DEFAULT_TAXONOMY = frozenset(
+    {"ReproError", "InvalidDatasetError", "EstimationTimeout",
+     "EstimatorUnavailable", "TransientEstimationError",
+     "DegradedResultWarning"}
+)
+
+_taxonomy_cache: dict[Path, frozenset[str]] = {}
+
+
+def _taxonomy_for(ctx: FileContext) -> frozenset[str]:
+    """Class names defined in the linted tree's own ``repro/errors.py``.
+
+    Derived from source (not imported, not hardcoded) so the rule follows
+    the taxonomy as it grows; falls back to the known taxa if the tree
+    has no errors module.
+    """
+    # Walk up to the `repro` package directory this file belongs to.
+    parent = ctx.path.parent
+    while parent.name != "repro" and (parent / "__init__.py").is_file():
+        parent = parent.parent
+    errors_py = parent / "errors.py"
+    if parent.name != "repro" or not errors_py.is_file():
+        return _DEFAULT_TAXONOMY
+    cached = _taxonomy_cache.get(errors_py)
+    if cached is not None:
+        return cached
+    try:
+        tree = ast.parse(errors_py.read_text(encoding="utf-8"))
+        taxa = frozenset(
+            stmt.name for stmt in tree.body if isinstance(stmt, ast.ClassDef)
+        )
+    except (OSError, SyntaxError, ValueError):
+        taxa = _DEFAULT_TAXONOMY
+    _taxonomy_cache[errors_py] = taxa
+    return taxa
+
+
+def _check_error_taxonomy(ctx: FileContext) -> list[Diagnostic]:
+    if not ctx.in_repro:
+        return []
+    taxonomy = _taxonomy_for(ctx)
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        parts = _dotted(exc)
+        if parts is None:
+            continue  # computed expression — not statically classifiable
+        name = parts[-1]
+        if not name[:1].isupper():
+            continue  # re-raised variable or factory call
+        if ".".join(parts) in _APPROVED_DOTTED_RAISES:
+            continue
+        if name in taxonomy or name in _APPROVED_BUILTIN_RAISES:
+            continue
+        out.append(
+            ctx.diagnostic(
+                "R003",
+                "error-taxonomy",
+                node,
+                f"raise of {name!r} outside the repro.errors taxonomy — use a "
+                "ReproError subclass (so the resilient service can classify "
+                "the failure) or one of the approved builtins: "
+                + ", ".join(sorted(_APPROVED_BUILTIN_RAISES)),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R004 — explicit dtype in kernel array constructors
+# ----------------------------------------------------------------------
+
+#: numpy constructors whose inferred dtype silently follows the input;
+#: mapped to the number of leading positional parameters *before* dtype.
+_DTYPE_SENSITIVE = {
+    "asarray": 1,
+    "array": 1,
+    "empty": 1,
+    "zeros": 1,
+    "ones": 1,
+    "full": 2,
+    "fromiter": 1,
+}
+
+#: Subpackages bound by the float64/C-contiguous rect-array contract.
+_DTYPE_SUBPACKAGES = frozenset({"geometry", "histograms", "parallel", "sampling"})
+
+
+def _check_explicit_dtype(ctx: FileContext) -> list[Diagnostic]:
+    if not (ctx.in_repro and ctx.subpackage() in _DTYPE_SUBPACKAGES):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        if (
+            parts is None
+            or len(parts) != 2
+            or parts[0] not in ("np", "numpy")
+            or parts[1] not in _DTYPE_SENSITIVE
+        ):
+            continue
+        min_positional = _DTYPE_SENSITIVE[parts[1]]
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords) or (
+            len(node.args) > min_positional
+        )
+        if not has_dtype:
+            out.append(
+                ctx.diagnostic(
+                    "R004",
+                    "explicit-dtype",
+                    node,
+                    f"'{'.'.join(parts)}' without an explicit dtype= — the "
+                    "rect-array and scatter kernels assume float64 (and "
+                    "int64 indices); inferred dtypes drift with the input "
+                    "and break bit-identity guarantees",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R005 — no broad exception handlers
+# ----------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(type_node: ast.expr | None) -> list[str]:
+    if type_node is None:
+        return ["<bare>"]
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    found = []
+    for node in nodes:
+        parts = _dotted(node)
+        if parts and parts[-1] in _BROAD_EXCEPTIONS:
+            found.append(".".join(parts))
+    return found
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True for cleanup handlers that end in a bare ``raise``.
+
+    ``except BaseException: <cancel work>; raise`` does not swallow
+    anything — it is the sanctioned cancel-and-propagate pattern — so it
+    is exempt from R005.
+    """
+    return bool(handler.body) and (
+        isinstance(handler.body[-1], ast.Raise) and handler.body[-1].exc is None
+    )
+
+
+def _check_broad_except(ctx: FileContext) -> list[Diagnostic]:
+    if not ctx.in_repro:
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler) or _reraises(node):
+            continue
+        for name in _broad_names(node.type):
+            what = "bare 'except:'" if name == "<bare>" else f"'except {name}'"
+            out.append(
+                ctx.diagnostic(
+                    "R005",
+                    "broad-except",
+                    node,
+                    f"{what} swallows unexpected failures — catch ReproError "
+                    "(or a narrower taxon/builtin); only the resilient "
+                    "fallback chain may catch everything, with an explicit "
+                    "suppression",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# R006 — public-export soundness
+# ----------------------------------------------------------------------
+
+def _literal_all(tree: ast.Module) -> tuple[ast.expr | None, list[tuple[str, ast.expr]]]:
+    """The ``__all__`` assignment value and its (entry, node) pairs."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+            )
+            and isinstance(stmt.value, (ast.List, ast.Tuple))
+        ):
+            entries = []
+            for elt in stmt.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    entries.append((elt.value, elt))
+                else:
+                    entries.append(("", elt))  # non-string entry
+            return stmt.value, entries
+    return None, []
+
+
+def _check_export_soundness(ctx: FileContext) -> list[Diagnostic]:
+    if not (ctx.in_repro and ctx.path.name == "__init__.py"):
+        return []
+    out = []
+    index = ctx.index
+    bindings = index.top_level_bindings(ctx.path)
+
+    # (a) __all__ entries: strings, unique, and actually bound.
+    _, entries = _literal_all(ctx.tree)
+    seen: set[str] = set()
+    for entry, node in entries:
+        if not entry:
+            out.append(
+                ctx.diagnostic(
+                    "R006", "export-soundness", node,
+                    "__all__ entries must be string literals",
+                )
+            )
+            continue
+        if entry in seen:
+            out.append(
+                ctx.diagnostic(
+                    "R006", "export-soundness", node,
+                    f"duplicate __all__ entry {entry!r}",
+                )
+            )
+        seen.add(entry)
+        if entry == "__version__":
+            continue  # dunder assignments are collected as bindings anyway
+        if (
+            bindings is not UNKNOWN_BINDINGS
+            and entry not in bindings
+            and not index.has_submodule(ctx.path, entry)
+        ):
+            out.append(
+                ctx.diagnostic(
+                    "R006", "export-soundness", node,
+                    f"__all__ exports {entry!r} but the module never binds it",
+                )
+            )
+
+    # (b) relative imports resolve, and imported names exist at the target.
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.ImportFrom) or stmt.level == 0:
+            continue
+        target = index.resolve_relative(ctx.path, stmt.level, stmt.module)
+        if target is None:
+            out.append(
+                ctx.diagnostic(
+                    "R006", "export-soundness", stmt,
+                    f"relative import target '{'.' * stmt.level}{stmt.module or ''}' "
+                    "does not resolve to a module in this tree",
+                )
+            )
+            continue
+        target_bindings = index.top_level_bindings(target)
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            if target_bindings is UNKNOWN_BINDINGS:
+                continue
+            if alias.name in target_bindings:
+                continue
+            if target.name == "__init__.py" and index.has_submodule(target, alias.name):
+                continue
+            out.append(
+                ctx.diagnostic(
+                    "R006", "export-soundness", stmt,
+                    f"'{alias.name}' is imported from "
+                    f"'{'.' * stmt.level}{stmt.module or ''}' but never bound there",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Pseudo-rule id used by the engine for unparseable files.  Not part of
+#: RULES (it cannot be selected or suppressed away — a file that does not
+#: parse can never be certified clean).
+PARSE_ERROR_RULE = ("E001", "parse-error")
+
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "R001",
+            "global-rng",
+            "no global np.random.* / random.* calls in library code; "
+            "stochastic paths take an explicit numpy Generator",
+            _check_global_rng,
+        ),
+        Rule(
+            "R002",
+            "missing-checkpoint",
+            "loops in histogram/join/parallel/sampling kernels longer than "
+            f"{CHECKPOINT_STATEMENT_THRESHOLD} statements must call "
+            "runtime.checkpoint()",
+            _check_checkpoint_coverage,
+        ),
+        Rule(
+            "R003",
+            "error-taxonomy",
+            "raise sites use the repro.errors taxonomy or approved builtins",
+            _check_error_taxonomy,
+        ),
+        Rule(
+            "R004",
+            "explicit-dtype",
+            "numpy array constructors in kernel packages pass an explicit dtype=",
+            _check_explicit_dtype,
+        ),
+        Rule(
+            "R005",
+            "broad-except",
+            "no bare/broad except outside the resilient fallback chain",
+            _check_broad_except,
+        ),
+        Rule(
+            "R006",
+            "export-soundness",
+            "__all__ entries are bound and relative imports resolve in "
+            "package __init__ modules",
+            _check_export_soundness,
+        ),
+    )
+}

@@ -19,7 +19,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..geometry import Rect, RectArray
-from .node import EMPTY_MBR, Node
+from .node import Node
 
 __all__ = ["RTree", "DEFAULT_MAX_ENTRIES"]
 

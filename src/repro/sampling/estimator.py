@@ -231,7 +231,8 @@ class SamplingJoinEstimator:
         from ..parallel import parallel_sampling_estimates
 
         values = np.asarray(
-            parallel_sampling_estimates(configs, ds1, ds2, workers=workers or 1)
+            parallel_sampling_estimates(configs, ds1, ds2, workers=workers or 1),
+            dtype=np.float64,
         )
         mean = float(values.mean())
         std_error = float(values.std(ddof=1) / np.sqrt(repeats))

@@ -325,7 +325,10 @@ class ResilientEstimator(JoinSelectivityEstimator):
                     )
                 )
                 return None
-            except Exception as exc:  # noqa: BLE001 — the chain is the handler
+            # The fallback chain IS the handler of last resort: any rung
+            # failure is recorded in the provenance and the next rung
+            # answers, so catching everything here is the contract.
+            except Exception as exc:  # repro-lint: disable=R005  # noqa: BLE001
                 attempts.append(
                     AttemptRecord(
                         name, index, attempt + 1, "error",

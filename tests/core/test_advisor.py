@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import calibrate_level, level_for_budget
 from repro.datasets import make_clustered, make_uniform
-from repro.histograms import GHHistogram, PHHistogram, MAX_LEVEL
+from repro.histograms import GHHistogram, MAX_LEVEL
 from repro.join import actual_selectivity
 
 

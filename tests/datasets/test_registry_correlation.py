@@ -4,7 +4,6 @@ the rivers.  These tests pin the cross-dataset correlation that gives
 the coarse-level underestimation signature of the paper's Figure 7."""
 
 import numpy as np
-import pytest
 
 from repro.datasets import make_paper_pair
 

@@ -159,7 +159,6 @@ class TestZeroSelectivityPair:
         relative error, and the renderer must not crash on it."""
         from repro.datasets import make_clustered
         from repro.eval import render_figure7, run_histogram_experiment
-        from repro.geometry import Rect
 
         west = make_clustered(300, seed=150, center=(0.1, 0.1), spread=0.01)
         east = make_clustered(300, seed=151, center=(0.9, 0.9), spread=0.01)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, make_clustered, make_points_like, make_polygons_like
-from repro.geometry import Rect, RectArray
+from repro.geometry import RectArray
 from repro.histograms import GHHistogram, cell_contributions
 from tests.conftest import random_rects
 

@@ -1,7 +1,6 @@
 """Unit tests for the basic GH scheme, including the paper's worked
 examples (Figure 3) and failure cases (Figure 4)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, make_clustered

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.datasets import SpatialDataset, make_uniform
-from repro.geometry import Rect, RectArray
+from repro.datasets import SpatialDataset
+from repro.geometry import Rect
 from repro.histograms import (
     BasicGHHistogram,
     GHHistogram,

@@ -2,7 +2,6 @@
 inserts and deletes produces the same histogram as a from-scratch build."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datasets import SpatialDataset

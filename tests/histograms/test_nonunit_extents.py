@@ -6,7 +6,6 @@ unit area — the real TIGER data lives in lon/lat boxes with very
 different side lengths.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, make_uniform

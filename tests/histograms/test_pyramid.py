@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, make_clustered, make_points_like
-from repro.geometry import Rect, RectArray
+from repro.geometry import Rect
 from repro.histograms import GHHistogram, GHPyramid, downsample_gh
 from tests.conftest import random_rects
 

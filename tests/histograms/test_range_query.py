@@ -1,6 +1,5 @@
 """Unit tests for range-query estimation from the histogram files."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import SpatialDataset, make_clustered, make_uniform

@@ -5,7 +5,6 @@ the hundreds of thousands), web-mercator (tens of millions).  The exact
 engines must agree regardless of magnitude and offset.
 """
 
-import numpy as np
 import pytest
 
 from repro.geometry import Rect, RectArray

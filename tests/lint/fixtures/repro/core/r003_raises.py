@@ -1,0 +1,26 @@
+"""Fixture: R003 — raise sites outside the error taxonomy."""
+
+
+class CustomError(Exception):
+    pass
+
+
+def bad_raises(flag):
+    if flag == 1:
+        raise RuntimeError("use EstimatorUnavailable/Transient instead")  # R003
+    if flag == 2:
+        raise TimeoutError("use EstimationTimeout instead")  # R003
+    if flag == 3:
+        raise CustomError("ad-hoc exception class")  # R003
+    raise Exception("never raise bare Exception")  # R003
+
+
+def good_raises(flag, exc):
+    if flag == 1:
+        raise ValueError("approved builtin")
+    if flag == 2:
+        raise exc  # re-raising a variable is not classifiable statically
+    try:
+        return 1 / flag
+    except ZeroDivisionError:
+        raise  # bare re-raise

@@ -1,0 +1,1 @@
+"""Fixture kernel subpackage (intentionally binds nothing)."""

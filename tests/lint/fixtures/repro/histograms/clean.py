@@ -1,0 +1,17 @@
+"""Fixture: idiomatic kernel code — must produce zero diagnostics."""
+
+import numpy as np
+
+from ..runtime import checkpoint  # fixture-local; never imported at runtime
+
+
+def build(cells, values, rng):
+    checkpoint("fixture.clean.build")
+    out = np.zeros(cells, dtype=np.float64)
+    weights = np.asarray(values, dtype=np.float64)
+    noise = rng.uniform(size=cells)
+    if weights.size != cells:
+        raise ValueError("weights must match the cell count")
+    for i in range(min(cells, 4)):
+        out[i] += weights[i] + noise[i]
+    return out

@@ -1,0 +1,17 @@
+"""Fixture: R001 global-RNG violations (and allowed constructor calls)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    noise = np.random.uniform(size=n)  # R001
+    np.random.seed(7)  # R001
+    pick = random.choice([1, 2, 3])  # R001
+    return noise, pick
+
+
+def seeded(n, seed):
+    rng = np.random.default_rng(seed)  # allowed: explicit construction
+    return rng.uniform(size=n)  # allowed: method on a Generator object

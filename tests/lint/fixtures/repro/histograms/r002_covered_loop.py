@@ -1,0 +1,33 @@
+"""Fixture: long kernel loops that ARE checkpoint-covered (clean)."""
+
+from ..runtime import checkpoint  # fixture-local; never imported at runtime
+
+
+def build_strided(cells):
+    total = 0
+    for i, cell in enumerate(cells):  # long but covered inside the loop
+        if i % 1024 == 0:
+            checkpoint("fixture.build")
+        a = cell + 1
+        b = a * 2
+        c = b - 3
+        d = c * c
+        e = d + a
+        f = e - b
+        total += f
+    return total
+
+
+def build_outer(cells):
+    checkpoint("fixture.build")  # covered by the enclosing function
+    total = 0
+    for cell in cells:
+        a = cell + 1
+        b = a * 2
+        c = b - 3
+        d = c * c
+        e = d + a
+        f = e - b
+        g = f + c
+        total += g
+    return total

@@ -1,0 +1,23 @@
+"""Fixture: R002 — a long kernel loop without a checkpoint."""
+
+
+def build(cells):
+    total = 0
+    for cell in cells:  # R002: > 8 statements, no checkpoint
+        a = cell + 1
+        b = a * 2
+        c = b - 3
+        d = c * c
+        e = d + a
+        f = e - b
+        g = f + c
+        h = g * d
+        total += h
+    return total
+
+
+def short(cells):
+    total = 0
+    for cell in cells:  # short loop: under the threshold, not flagged
+        total += cell
+    return total

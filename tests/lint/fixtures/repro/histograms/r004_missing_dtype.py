@@ -1,0 +1,18 @@
+"""Fixture: R004 — dtype-less numpy constructors in a kernel package."""
+
+import numpy as np
+
+
+def accumulators(cells, values):
+    c = np.zeros(cells)  # R004
+    o = np.empty(cells)  # R004
+    w = np.asarray(values)  # R004
+    filled = np.full(cells, 1.0)  # R004
+    return c, o, w, filled
+
+
+def explicit(cells, values):
+    c = np.zeros(cells, dtype=np.float64)  # allowed: dtype keyword
+    w = np.asarray(values, np.float64)  # allowed: positional dtype
+    idx = np.arange(cells)  # allowed: not a dtype-sensitive constructor
+    return c, w, idx

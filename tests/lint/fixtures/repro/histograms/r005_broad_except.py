@@ -1,0 +1,37 @@
+"""Fixture: R005 — broad exception handlers."""
+
+
+def swallow(work):
+    try:
+        return work()
+    except Exception:  # R005
+        return None
+
+
+def swallow_bare(work):
+    try:
+        return work()
+    except:  # noqa: E722  # R005
+        return None
+
+
+def swallow_tuple(work):
+    try:
+        return work()
+    except (ValueError, BaseException):  # R005
+        return None
+
+
+def cleanup_and_propagate(work, undo):
+    try:
+        return work()
+    except BaseException:  # allowed: unconditionally re-raises
+        undo()
+        raise
+
+
+def narrow(work):
+    try:
+        return work()
+    except ValueError:  # allowed: narrow handler
+        return None

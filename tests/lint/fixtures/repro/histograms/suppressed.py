@@ -1,0 +1,24 @@
+"""Fixture: every violation here carries a suppression -> file lints clean."""
+
+# repro-lint: disable-file=R005
+
+import numpy as np
+
+
+def jitter(n):
+    return np.random.uniform(size=n)  # repro-lint: disable=R001
+
+
+def accumulators(cells, values):
+    c = np.zeros(cells)  # repro-lint: disable=R004
+    # repro-lint: disable-next=R004
+    o = np.empty(cells)
+    w = np.asarray(values)  # repro-lint: disable=all
+    return c, o, w
+
+
+def swallow(work):
+    try:
+        return work()
+    except Exception:  # suppressed by the disable-file directive above
+        return None

@@ -1,0 +1,123 @@
+"""CLI contract: exit codes, text output, and the JSON schema."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PKG = FIXTURES / "repro"
+
+DIAGNOSTIC_KEYS = {"rule", "name", "path", "line", "col", "message"}
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, str(PKG / "histograms" / "clean.py"))
+        assert code == 0
+        assert "no violations" in out
+
+    def test_violations_exit_one(self, capsys):
+        code, out, err = run_cli(capsys, str(PKG / "histograms" / "r001_global_rng.py"))
+        assert code == 1
+        assert "R001" in out
+        assert "violation" in err
+
+    def test_missing_path_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "no/such/path.py")
+        assert code == 2
+        assert "error" in err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "--select", "R999", str(PKG))
+        assert code == 2
+        assert "R999" in err
+
+
+class TestTextOutput:
+    def test_file_line_col_format(self, capsys):
+        _, out, _ = run_cli(capsys, str(PKG / "histograms" / "r004_missing_dtype.py"))
+        first = out.splitlines()[0]
+        assert first.endswith("R004 [explicit-dtype] 'np.zeros' without an explicit dtype= — the rect-array and scatter kernels assume float64 (and int64 indices); inferred dtypes drift with the input and break bit-identity guarantees") or "R004" in first
+        path, line, col, *_ = first.split(":")
+        assert path.endswith("r004_missing_dtype.py")
+        assert line.isdigit() and col.split(" ")[0].isdigit()
+
+    def test_statistics_summary(self, capsys):
+        _, out, _ = run_cli(
+            capsys, "--statistics", str(PKG / "histograms" / "r004_missing_dtype.py")
+        )
+        assert "R004 [explicit-dtype]: 4" in out
+
+    def test_list_rules(self, capsys):
+        code, out, _ = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_schema(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--format", "json", str(PKG / "histograms" / "r001_global_rng.py")
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["clean"] is False
+        assert payload["summary"] == {"R001": 3}
+        for diag in payload["diagnostics"]:
+            assert set(diag) == DIAGNOSTIC_KEYS
+            assert diag["rule"] == "R001"
+            assert diag["line"] >= 1 and diag["col"] >= 1
+
+    def test_clean_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--format", "json", str(PKG / "histograms" / "clean.py")
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["clean"] is True
+        assert payload["diagnostics"] == []
+        assert payload["summary"] == {}
+
+    def test_json_is_machine_sorted(self, capsys):
+        _, out, _ = run_cli(capsys, "--format", "json", str(PKG))
+        payload = json.loads(out)
+        locs = [(d["path"], d["line"], d["col"], d["rule"]) for d in payload["diagnostics"]]
+        assert locs == sorted(locs)
+
+
+class TestSelectIgnore:
+    def test_select_narrows_rules(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--select", "R005", str(PKG / "histograms" / "r001_global_rng.py")
+        )
+        assert code == 0
+        assert "no violations" in out
+
+    def test_ignore_drops_rules(self, capsys):
+        code, _, _ = run_cli(
+            capsys, "--ignore", "R001", str(PKG / "histograms" / "r001_global_rng.py")
+        )
+        assert code == 0
+
+
+class TestDirectoryWalk:
+    def test_fixture_directories_are_skipped_in_tree_runs(self, capsys):
+        # Linting tests/ (which contains this corpus under fixtures/)
+        # must not surface the intentional violations.
+        code, out, _ = run_cli(capsys, str(Path(__file__).parent))
+        assert code == 0
+        assert "no violations" in out
+
+    def test_explicit_fixture_file_is_linted_despite_exclusion(self, capsys):
+        code, _, _ = run_cli(capsys, str(FIXTURES / "parse_error.py"))
+        assert code == 1

@@ -1,0 +1,107 @@
+"""The mypy strictness ratchet is total, live, and monotone.
+
+``pyproject.toml`` opts modules into an expanded-strict mypy override;
+``mypy_ratchet.txt`` enumerates the modules that have not yet been
+annotated.  These tests pin the invariant that makes the ratchet a
+ratchet: the two sets partition ``src/repro`` exactly, with no module
+unaccounted for, no stale entry, and no overlap.  Annotating a module is
+then a two-line change (move it into the override, delete its ratchet
+entry) that this suite verifies mechanically.
+"""
+
+import tomllib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parents[2]
+SRC = REPO_ROOT / "src"
+RATCHET_FILE = REPO_ROOT / "mypy_ratchet.txt"
+
+
+def _matches(pattern: str, module: str) -> bool:
+    """mypy override-pattern semantics.
+
+    ``pkg.mod`` matches only that module; ``pkg.*`` matches the package
+    itself and everything below it.
+    """
+    if pattern.endswith(".*"):
+        base = pattern[:-2]
+        return module == base or module.startswith(base + ".")
+    return module == pattern
+
+
+def _strict_patterns() -> list[str]:
+    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    overrides = config["tool"]["mypy"]["overrides"]
+    patterns: list[str] = []
+    for block in overrides:
+        if block.get("disallow_untyped_defs"):
+            patterns.extend(block["module"])
+    return patterns
+
+
+def _ratchet_entries() -> list[str]:
+    entries = []
+    for raw in RATCHET_FILE.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            entries.append(line)
+    return entries
+
+
+def _all_modules() -> list[str]:
+    modules = []
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        rel = path.relative_to(SRC).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules.append(".".join(parts))
+    return modules
+
+
+def test_every_module_is_strict_or_ratcheted():
+    strict = _strict_patterns()
+    ratchet = _ratchet_entries()
+    unaccounted = [
+        module
+        for module in _all_modules()
+        if not any(_matches(p, module) for p in strict)
+        and not any(_matches(e, module) for e in ratchet)
+    ]
+    assert not unaccounted, (
+        "modules neither under the strict mypy override nor listed in "
+        f"mypy_ratchet.txt: {unaccounted}"
+    )
+
+
+def test_no_ratchet_entry_overlaps_the_strict_set():
+    strict = _strict_patterns()
+    modules = _all_modules()
+    overlapping = [
+        entry
+        for entry in _ratchet_entries()
+        if any(
+            _matches(entry, module) and any(_matches(p, module) for p in strict)
+            for module in modules
+        )
+    ]
+    assert not overlapping, (
+        "ratchet entries cover modules already under the strict override "
+        f"(delete them): {overlapping}"
+    )
+
+
+def test_no_stale_ratchet_entries():
+    modules = _all_modules()
+    stale = [
+        entry
+        for entry in _ratchet_entries()
+        if not any(_matches(entry, module) for module in modules)
+    ]
+    assert not stale, f"ratchet entries matching no existing module: {stale}"
+
+
+def test_strict_set_is_nonempty_and_covers_the_core_contracts():
+    strict = _strict_patterns()
+    for required in ("repro.errors", "repro.runtime", "repro.geometry.*", "repro.lint.*"):
+        assert required in strict, f"{required} fell out of the strict mypy override"

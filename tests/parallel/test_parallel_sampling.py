@@ -1,7 +1,6 @@
 """The multiprocess sampling-replica driver must be value-identical to
 the serial loop (seeds fully determine every draw)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import make_clustered, make_uniform

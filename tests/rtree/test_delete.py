@@ -1,7 +1,6 @@
 """Unit tests for R-tree deletion (Guttman Delete + CondenseTree)."""
 
 import numpy as np
-import pytest
 
 from repro.geometry import Rect
 from repro.rtree import RTree

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry import Rect, RectArray
+from repro.geometry import Rect
 from repro.rtree import (
     RTree,
     bulk_load_str,

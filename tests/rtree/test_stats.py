@@ -1,6 +1,5 @@
 """Unit tests for R-tree statistics."""
 
-import pytest
 
 from repro.geometry import RectArray
 from repro.rtree import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import SpatialDataset, make_uniform
+from repro.datasets import make_uniform
 from repro.sampling import (
     SAMPLING_METHODS,
     pick_sample_indices,

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import GHEstimator, ParametricEstimator, PHEstimator
 from repro.datasets import SpatialDataset, make_uniform
-from repro.geometry import Rect, RectArray
+from repro.geometry import Rect
 from repro.histograms import BasicGHHistogram, GHHistogram, PHHistogram
 from repro.sampling import SamplingJoinEstimator
 
