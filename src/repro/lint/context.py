@@ -53,6 +53,7 @@ class ModuleIndex:
 
     def __init__(self) -> None:
         self._bindings: dict[Path, frozenset[str] | None] = {}
+        self._class_names: dict[Path, frozenset[str] | None] = {}
 
     def resolve_relative(
         self, importer: Path, level: int, module: str | None
@@ -94,6 +95,27 @@ class ModuleIndex:
         unknown = self._collect(tree.body, names)
         result = UNKNOWN_BINDINGS if unknown else frozenset(names)
         self._bindings[path] = result
+        return result
+
+    def class_names(self, path: Path) -> frozenset[str] | None:
+        """Top-level class names defined in ``path``, or ``None`` when the
+        file is missing or does not parse.  Used by the error-taxonomy
+        rule (R003); cached here — i.e. for one lint run — so an edit to
+        ``errors.py`` is always picked up by the next run even in a
+        long-lived process.
+        """
+        path = path.resolve()
+        if path in self._class_names:
+            return self._class_names[path]
+        result: frozenset[str] | None
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            result = frozenset(
+                stmt.name for stmt in tree.body if isinstance(stmt, ast.ClassDef)
+            )
+        except (OSError, SyntaxError, ValueError):
+            result = None
+        self._class_names[path] = result
         return result
 
     def has_submodule(self, package_init: Path, name: str) -> bool:

@@ -16,13 +16,31 @@ from .suppressions import SuppressionIndex
 __all__ = ["LintReport", "iter_python_files", "lint_file", "run_lint"]
 
 #: Directory names never descended into when walking a directory
-#: argument.  ``fixtures`` keeps the lint test corpus (files with
-#: intentional violations) out of tree-wide runs; passing a fixture file
-#: *explicitly* always lints it.
+#: argument: vendored/cache/VCS directories only, nothing a legitimate
+#: source tree would use.
 DEFAULT_EXCLUDED_DIRS = frozenset(
     {"__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist",
-     ".eggs", "node_modules", "fixtures"}
+     ".eggs", "node_modules"}
 )
+
+#: Specific directories (matched by trailing resolved-path components)
+#: skipped by tree walks.  Only the lint test corpus — files with
+#: intentional violations — lives here; a generic name like ``fixtures``
+#: is deliberately NOT excluded, so future legitimate code in some other
+#: ``fixtures/`` directory is still linted.  Passing a corpus file
+#: *explicitly* always lints it.
+EXCLUDED_PATH_SUFFIXES: tuple[tuple[str, ...], ...] = (
+    ("tests", "lint", "fixtures"),
+)
+
+
+def _is_excluded_dir(dirpath: Path, name: str) -> bool:
+    if name in DEFAULT_EXCLUDED_DIRS:
+        return True
+    parts = (dirpath / name).resolve().parts
+    return any(
+        parts[-len(suffix):] == suffix for suffix in EXCLUDED_PATH_SUFFIXES
+    )
 
 
 @dataclass
@@ -46,10 +64,11 @@ class LintReport:
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
     """Expand path arguments into ``.py`` files, deterministically ordered.
 
-    Directories are walked recursively minus :data:`DEFAULT_EXCLUDED_DIRS`;
-    explicit file arguments are yielded as-is (even inside excluded
-    directories).  Missing paths raise :class:`FileNotFoundError` so a
-    typo'd CI invocation fails loudly instead of certifying nothing.
+    Directories are walked recursively minus :data:`DEFAULT_EXCLUDED_DIRS`
+    and the :data:`EXCLUDED_PATH_SUFFIXES` fixture corpus; explicit file
+    arguments are yielded as-is (even inside excluded directories).
+    Missing paths raise :class:`FileNotFoundError` so a typo'd CI
+    invocation fails loudly instead of certifying nothing.
     """
     seen: set[Path] = set()
     for raw in paths:
@@ -62,7 +81,7 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
         elif path.is_dir():
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
-                    d for d in dirnames if d not in DEFAULT_EXCLUDED_DIRS
+                    d for d in dirnames if not _is_excluded_dir(Path(dirpath), d)
                 )
                 for filename in sorted(filenames):
                     if not filename.endswith(".py"):

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable
 
 from .context import UNKNOWN_BINDINGS, FileContext
 from .diagnostics import Diagnostic
@@ -141,25 +140,16 @@ def _check_checkpoint_coverage(ctx: FileContext) -> list[Diagnostic]:
     if not (ctx.in_repro and ctx.subpackage() in _KERNEL_SUBPACKAGES):
         return []
     out = []
-    # Map each loop to its innermost enclosing function (if any).
-    stack: list[ast.AST] = []
-
-    def visit(node: ast.AST) -> Iterator[tuple[ast.For | ast.While, ast.AST | None]]:
-        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        if is_func:
-            stack.append(node)
-        if isinstance(node, (ast.For, ast.While)):
-            yield node, (stack[-1] if stack else None)
-        for child in ast.iter_child_nodes(node):
-            yield from visit(child)
-        if is_func:
-            stack.pop()
-
-    for loop, func in visit(ctx.tree):
+    # A checkpoint covers a loop only when it sits *inside* the loop
+    # (executed per iteration); one elsewhere in the enclosing function
+    # runs a bounded number of times and leaves the loop unpreemptible.
+    for loop in ast.walk(ctx.tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
         weight = _statement_weight(loop.body) + _statement_weight(loop.orelse)
         if weight <= CHECKPOINT_STATEMENT_THRESHOLD:
             continue
-        if _calls_checkpoint(loop) or (func is not None and _calls_checkpoint(func)):
+        if _calls_checkpoint(loop):
             continue
         out.append(
             ctx.diagnostic(
@@ -167,9 +157,10 @@ def _check_checkpoint_coverage(ctx: FileContext) -> list[Diagnostic]:
                 "missing-checkpoint",
                 loop,
                 f"kernel loop spans {weight} statements with no "
-                "runtime.checkpoint() on the path — long loops must stay "
-                "preemptible by deadlines and the fault harness (add a "
-                "checkpoint, e.g. strided every N iterations)",
+                "runtime.checkpoint() inside it — long loops must stay "
+                "preemptible by deadlines and the fault harness; a "
+                "checkpoint elsewhere in the function does not cover this "
+                "loop (add one in the body, e.g. strided every N iterations)",
             )
         )
     return out
@@ -198,15 +189,14 @@ _DEFAULT_TAXONOMY = frozenset(
      "DegradedResultWarning"}
 )
 
-_taxonomy_cache: dict[Path, frozenset[str]] = {}
-
-
 def _taxonomy_for(ctx: FileContext) -> frozenset[str]:
     """Class names defined in the linted tree's own ``repro/errors.py``.
 
     Derived from source (not imported, not hardcoded) so the rule follows
     the taxonomy as it grows; falls back to the known taxa if the tree
-    has no errors module.
+    has no errors module.  Parsed through the per-run
+    :class:`~repro.lint.context.ModuleIndex` cache, so there is no
+    process-lifetime staleness when ``errors.py`` changes.
     """
     # Walk up to the `repro` package directory this file belongs to.
     parent = ctx.path.parent
@@ -215,18 +205,8 @@ def _taxonomy_for(ctx: FileContext) -> frozenset[str]:
     errors_py = parent / "errors.py"
     if parent.name != "repro" or not errors_py.is_file():
         return _DEFAULT_TAXONOMY
-    cached = _taxonomy_cache.get(errors_py)
-    if cached is not None:
-        return cached
-    try:
-        tree = ast.parse(errors_py.read_text(encoding="utf-8"))
-        taxa = frozenset(
-            stmt.name for stmt in tree.body if isinstance(stmt, ast.ClassDef)
-        )
-    except (OSError, SyntaxError, ValueError):
-        taxa = _DEFAULT_TAXONOMY
-    _taxonomy_cache[errors_py] = taxa
-    return taxa
+    taxa = ctx.index.class_names(errors_py)
+    return _DEFAULT_TAXONOMY if taxa is None else taxa
 
 
 def _check_error_taxonomy(ctx: FileContext) -> list[Diagnostic]:

@@ -10,6 +10,11 @@ merely *contain* the directive text never suppress anything):
 * ``# repro-lint: disable-file=R004`` — on a line of its own, suppress
   the listed rules for the whole file.
 
+The file-wide form is honored *only* when the comment starts its line
+(nothing but whitespace before the ``#``): a ``disable-file`` trailing
+some statement — e.g. a typo for ``disable`` — degrades to a same-line
+``disable``, so it can never silently blank the rule for the whole file.
+
 Rule lists are comma-separated; ``all`` matches every rule.  Unknown
 rule ids are tolerated (they simply never match), so a suppression for
 a rule that is later retired does not break the build.
@@ -62,8 +67,11 @@ class SuppressionIndex:
             rules = _parse_rules(match.group("rules"))
             kind = match.group("kind")
             if kind == "disable-file":
-                file_wide = file_wide | rules
-                continue
+                own_line = tok.line[: tok.start[1]].strip() == ""
+                if own_line:
+                    file_wide = file_wide | rules
+                    continue
+                kind = "disable"  # trailing form: same-line scope only
             line = tok.start[0] + (1 if kind == "disable-next" else 0)
             by_line[line] = by_line.get(line, frozenset()) | rules
         return cls(by_line, file_wide)

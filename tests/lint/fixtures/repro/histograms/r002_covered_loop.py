@@ -18,16 +18,15 @@ def build_strided(cells):
     return total
 
 
-def build_outer(cells):
-    checkpoint("fixture.build")  # covered by the enclosing function
+def drain(queue):
     total = 0
-    for cell in cells:
-        a = cell + 1
+    while queue:  # long but covered: the checkpoint runs every iteration
+        checkpoint("fixture.drain")
+        item = queue.pop()
+        a = item + 1
         b = a * 2
         c = b - 3
         d = c * c
         e = d + a
-        f = e - b
-        g = f + c
-        total += g
+        total += e
     return total

@@ -1,4 +1,6 @@
-"""Fixture: R002 — a long kernel loop without a checkpoint."""
+"""Fixture: R002 — long kernel loops without an in-loop checkpoint."""
+
+from ..runtime import checkpoint  # fixture-local; never imported at runtime
 
 
 def build(cells):
@@ -13,6 +15,23 @@ def build(cells):
         g = f + c
         h = g * d
         total += h
+    return total
+
+
+def build_outer_checkpoint(cells):
+    checkpoint("fixture.outer")  # before the loop: does NOT cover it
+    total = 0
+    for cell in cells:  # R002: checkpoint elsewhere in the function is not coverage
+        a = cell + 1
+        b = a * 2
+        c = b - 3
+        d = c * c
+        e = d + a
+        f = e - b
+        g = f + c
+        h = g * d
+        total += h
+    checkpoint("fixture.outer")  # after the loop: still not coverage
     return total
 
 

@@ -121,3 +121,22 @@ class TestDirectoryWalk:
     def test_explicit_fixture_file_is_linted_despite_exclusion(self, capsys):
         code, _, _ = run_cli(capsys, str(FIXTURES / "parse_error.py"))
         assert code == 1
+
+    def test_other_fixtures_directories_are_still_linted(self, capsys, tmp_path):
+        # Only the corpus at tests/lint/fixtures is skipped; a directory
+        # that merely happens to be named `fixtures` elsewhere must not
+        # be silently certified clean.
+        pkg = tmp_path / "repro"
+        (pkg / "fixtures").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "fixtures" / "__init__.py").write_text("")
+        (pkg / "fixtures" / "mod.py").write_text(
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        code, out, _ = run_cli(capsys, str(tmp_path))
+        assert code == 1
+        assert "R005" in out

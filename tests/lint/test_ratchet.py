@@ -9,12 +9,96 @@ then a two-line change (move it into the override, delete its ratchet
 entry) that this suite verifies mechanically.
 """
 
-import tomllib
+import re
 from pathlib import Path
+
+import pytest
+
+try:  # tomllib is 3.11+ stdlib
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - the 3.10 CI leg
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
 
 REPO_ROOT = Path(__file__).parents[2]
 SRC = REPO_ROOT / "src"
 RATCHET_FILE = REPO_ROOT / "mypy_ratchet.txt"
+
+
+def _strip_toml_comment(line: str) -> str:
+    """Drop an unquoted ``#`` comment tail from one TOML line."""
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "#":
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_toml_value(value: str):
+    value = value.strip()
+    if value == "true":
+        return True
+    if value == "false":
+        return False
+    if value.startswith("["):
+        return re.findall(r'"([^"]*)"', value)
+    return value.strip('"')
+
+
+def _parse_overrides_fallback(text: str) -> list[dict]:
+    """Minimal ``[[tool.mypy.overrides]]`` reader for interpreters with
+    neither ``tomllib`` (3.11+) nor ``tomli`` (the tier-1 3.10 CI leg
+    installs no TOML parser).  Understands exactly what that table uses:
+    ``key = value`` pairs with boolean or string-array values, arrays
+    possibly spanning lines.  ``test_fallback_parser_matches_tomllib``
+    pins it against the real parser wherever one exists.
+    """
+    overrides: list[dict] = []
+    current: dict | None = None
+    pending_key: str | None = None
+    buffer = ""
+    for raw in text.splitlines():
+        line = _strip_toml_comment(raw)
+        if not line:
+            continue
+        if pending_key is not None and current is not None:
+            buffer += " " + line
+            if buffer.count("[") == buffer.count("]"):
+                current[pending_key] = _parse_toml_value(buffer)
+                pending_key = None
+            continue
+        if line == "[[tool.mypy.overrides]]":
+            current = {}
+            overrides.append(current)
+            continue
+        if line.startswith("["):
+            current = None
+            continue
+        if current is None or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        value = value.strip()
+        if value.startswith("[") and value.count("[") != value.count("]"):
+            pending_key, buffer = key.strip(), value
+            continue
+        current[key.strip()] = _parse_toml_value(value)
+    return overrides
+
+
+def _mypy_overrides() -> list[dict]:
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    if tomllib is not None:
+        return tomllib.loads(text)["tool"]["mypy"]["overrides"]
+    return _parse_overrides_fallback(text)
 
 
 def _matches(pattern: str, module: str) -> bool:
@@ -30,10 +114,8 @@ def _matches(pattern: str, module: str) -> bool:
 
 
 def _strict_patterns() -> list[str]:
-    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
-    overrides = config["tool"]["mypy"]["overrides"]
     patterns: list[str] = []
-    for block in overrides:
+    for block in _mypy_overrides():
         if block.get("disallow_untyped_defs"):
             patterns.extend(block["module"])
     return patterns
@@ -99,6 +181,13 @@ def test_no_stale_ratchet_entries():
         if not any(_matches(entry, module) for module in modules)
     ]
     assert not stale, f"ratchet entries matching no existing module: {stale}"
+
+
+def test_fallback_parser_matches_tomllib():
+    if tomllib is None:
+        pytest.skip("no tomllib/tomli on this interpreter to compare against")
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert _parse_overrides_fallback(text) == tomllib.loads(text)["tool"]["mypy"]["overrides"]
 
 
 def test_strict_set_is_nonempty_and_covers_the_core_contracts():

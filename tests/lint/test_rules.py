@@ -51,7 +51,13 @@ class TestR001GlobalRNG:
 class TestR002MissingCheckpoint:
     def test_flags_long_uncovered_loop(self):
         hits = rules_hit(PKG / "histograms" / "r002_long_loop.py")
-        assert hits == [("R002", 6)]
+        assert hits == [("R002", 8), ("R002", 24)]
+
+    def test_checkpoint_outside_the_loop_is_not_coverage(self):
+        # build_outer_checkpoint checkpoints before AND after its loop;
+        # neither runs per iteration, so the loop is still flagged.
+        hits = rules_hit(PKG / "histograms" / "r002_long_loop.py")
+        assert ("R002", 24) in hits
 
     def test_covered_loops_are_clean(self):
         assert rules_hit(PKG / "histograms" / "r002_covered_loop.py") == []
@@ -119,6 +125,27 @@ class TestSuppressions:
         assert diags == []  # sanity: nothing else in that file
         source = (PKG / "histograms" / "suppressed.py").read_text()
         assert "disable=R001" in source and "disable=R004" in source
+
+    def test_trailing_disable_file_degrades_to_same_line_scope(self, tmp_path):
+        # A disable-file typed where a disable was meant (trailing a
+        # statement) must not blank the rule for the whole file: it only
+        # suppresses the line it sits on.
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "mod.py"
+        mod.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:  # repro-lint: disable-file=R005\n"
+            "        pass\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert rules_hit(mod, select=["R005"]) == [("R005", 8)]
 
 
 class TestCleanFixtureAndParseErrors:
