@@ -452,6 +452,51 @@ def _check_export_soundness(ctx: FileContext) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# R007 — monotonic clocks for timing
+# ----------------------------------------------------------------------
+
+def _check_wall_clock(ctx: FileContext) -> list[Diagnostic]:
+    """``time.time()`` is wall-clock: NTP slews and DST jumps make the
+    intervals computed from it wrong, and every duration this library
+    reports (timing breakdowns, deadlines, benchmark JSON) is an
+    interval.  ``time.perf_counter()`` is monotonic and strictly better
+    for that purpose, so library code must not touch the wall clock."""
+    if not ctx.in_repro:
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            if _dotted(node.func) == ("time", "time"):
+                out.append(
+                    ctx.diagnostic(
+                        "R007",
+                        "wall-clock-timing",
+                        node,
+                        "call to wall-clock 'time.time()' — durations must "
+                        "come from the monotonic 'time.perf_counter()' "
+                        "(wall time jumps under NTP/DST and corrupts every "
+                        "interval derived from it)",
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "time":
+                        out.append(
+                            ctx.diagnostic(
+                                "R007",
+                                "wall-clock-timing",
+                                node,
+                                "'from time import time' smuggles the wall "
+                                "clock in under a bare name — import the "
+                                "module and use time.perf_counter() for "
+                                "durations",
+                            )
+                        )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -502,6 +547,13 @@ RULES: dict[str, Rule] = {
             "__all__ entries are bound and relative imports resolve in "
             "package __init__ modules",
             _check_export_soundness,
+        ),
+        Rule(
+            "R007",
+            "wall-clock-timing",
+            "no wall-clock time.time() in library code; durations use the "
+            "monotonic time.perf_counter()",
+            _check_wall_clock,
         ),
     )
 }

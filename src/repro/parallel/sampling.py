@@ -103,7 +103,15 @@ def parallel_sampling_estimates(
                 shm2.name, shm2.n, ds2.extent.as_tuple(), ds2.name,
             ),
         ) as pool:
-            return list(pool.map(_sampling_task, [dict(c) for c in configs]))
+            # A shared FlatTreeCache cannot cross the process boundary (its
+            # lock is unpicklable, and worker-side hits would not warm the
+            # caller's cache anyway) — pool replicas simply rebuild.
+            shipped = []
+            for c in configs:
+                config = dict(c)
+                config.pop("tree_cache", None)
+                shipped.append(config)
+            return list(pool.map(_sampling_task, shipped))
     finally:
         shm1.cleanup()
         shm2.cleanup()

@@ -14,7 +14,9 @@ how rarely you rebuild.  This package supplies that amortization layer:
   cache under any prepared estimator (the
   :class:`~repro.service.resilient.ResilientEstimator` uses this to make
   its GH→coarser-GH fallback rung build-free when the primary's
-  histogram is cached);
+  histogram is cached), and :class:`FlatTreeCache`, the same recipe over
+  bulk-loaded :class:`~repro.rtree.flat.FlatRTree` structures for the
+  sampling engine's "trees already exist" scenario;
 * :mod:`~repro.perf.batch` — :func:`estimate_many`, which deduplicates
   histogram builds across a whole workload of queries and runs the
   distinct builds in parallel (falling back to serial whenever a runtime
@@ -25,8 +27,15 @@ latency, and throughput story and emits ``BENCH_serving.json``.
 """
 
 from .batch import BatchQuery, estimate_many
-from .cache import CachedEstimator, CacheKey, CacheStats, HistogramCache
-from .fingerprint import dataset_fingerprint
+from .cache import (
+    CachedEstimator,
+    CacheKey,
+    CacheStats,
+    FlatTreeCache,
+    HistogramCache,
+    TreeCacheKey,
+)
+from .fingerprint import dataset_fingerprint, rects_fingerprint
 
 __all__ = [
     "BatchQuery",
@@ -35,5 +44,8 @@ __all__ = [
     "CacheStats",
     "CachedEstimator",
     "HistogramCache",
+    "FlatTreeCache",
+    "TreeCacheKey",
     "dataset_fingerprint",
+    "rects_fingerprint",
 ]

@@ -30,6 +30,14 @@ Builds executed while a fault-injection hook is active are *not*
 inserted (a mutation hook may have corrupted the freshly built cells;
 caching them would poison every later hit), so chaos tests keep their
 semantics even when a cache is threaded through.
+
+**Flat-tree cache.**  :class:`FlatTreeCache` applies the same recipe to
+bulk-loaded :class:`~repro.rtree.flat.FlatRTree` structures, keyed by
+``(rects fingerprint, packing, max_entries)``.  The sampling
+estimator's confidence replicas re-join the *same* full dataset when a
+fraction is 1.0, and the paper's "Est. Time 2" scenario assumes the
+input trees already exist — both reduce to warm hits here instead of
+rebuilds.
 """
 
 from __future__ import annotations
@@ -46,12 +54,20 @@ from ..core.estimator import (
     PreparedEstimator,
 )
 from ..datasets import SpatialDataset
-from ..geometry import Rect
+from ..geometry import Rect, RectArray
 from ..histograms import BasicGHHistogram, GHHistogram, PHHistogram, downsample_gh
+from ..rtree import DEFAULT_MAX_ENTRIES, FlatRTree, flat_load_hilbert, flat_load_str
 from ..runtime import active_scope
-from .fingerprint import dataset_fingerprint
+from .fingerprint import dataset_fingerprint, rects_fingerprint
 
-__all__ = ["CacheKey", "CacheStats", "HistogramCache", "CachedEstimator"]
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "HistogramCache",
+    "CachedEstimator",
+    "TreeCacheKey",
+    "FlatTreeCache",
+]
 
 Histogram = Union[GHHistogram, PHHistogram, BasicGHHistogram]
 
@@ -285,3 +301,130 @@ class CachedEstimator(PreparedEstimator):
 
     def __repr__(self) -> str:
         return f"CachedEstimator({self.inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class TreeCacheKey:
+    """Content-addressed identity of one bulk-loaded flat tree."""
+
+    fingerprint: str
+    packing: str
+    max_entries: int
+
+
+_TREE_LOADERS = {
+    "str": flat_load_str,
+    "hilbert": flat_load_hilbert,
+}
+
+
+class FlatTreeCache:
+    """LRU cache of bulk-loaded :class:`FlatRTree` structures.
+
+    Same retention scheme as :class:`HistogramCache` — LRU within a byte
+    budget over each tree's ``size_bytes``, content-addressed keys, and
+    no insertion while a fault hook is active — but keyed on bare
+    rectangle arrays (:func:`~repro.perf.fingerprint.rects_fingerprint`)
+    because sample trees are built from picked rects, not datasets.
+    ``stats`` reuses :class:`CacheStats`; the ``derivations`` counter
+    stays zero (trees have no cross-level derivation).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[TreeCacheKey, FlatRTree] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        """Total ``size_bytes`` of retained trees (always ≤ budget)."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: TreeCacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[TreeCacheKey]:
+        """Retained keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        rects: RectArray,
+        packing: str = "str",
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> TreeCacheKey:
+        """The content-addressed key a lookup would use."""
+        if packing not in _TREE_LOADERS:
+            raise ValueError(
+                f"unknown packing {packing!r}; choose from {sorted(_TREE_LOADERS)}"
+            )
+        return TreeCacheKey(
+            fingerprint=rects_fingerprint(rects),
+            packing=packing,
+            max_entries=int(max_entries),
+        )
+
+    def get_or_build(
+        self,
+        rects: RectArray,
+        packing: str = "str",
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> FlatRTree:
+        """The flat tree for ``(rects, packing, max_entries)``.
+
+        A hit returns the retained tree (``FlatRTree`` is immutable by
+        convention, so sharing is safe); a miss bulk-loads, retains
+        (LRU within the byte budget, unless a fault hook is active), and
+        returns.
+        """
+        key = self.key_for(rects, packing, max_entries)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return hit
+            self.stats.misses += 1
+        tree = _TREE_LOADERS[packing](rects, max_entries=max_entries)
+        with self._lock:
+            self.stats.builds += 1
+        self._insert(key, tree)
+        return tree
+
+    def _insert(self, key: TreeCacheKey, tree: FlatRTree) -> None:
+        scope = active_scope()
+        if scope is not None and scope.hook is not None:
+            return  # a mutation hook may have corrupted this build
+        size = tree.size_bytes
+        if size > self.max_bytes:
+            return  # would evict everything and still not fit
+        with self._lock:
+            if key in self._entries:  # another thread raced us; keep theirs
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = tree
+            self._bytes += size
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size_bytes
+                self.stats.evictions += 1

@@ -33,8 +33,9 @@ import struct
 import numpy as np
 
 from ..datasets import SpatialDataset
+from ..geometry import RectArray
 
-__all__ = ["dataset_fingerprint"]
+__all__ = ["dataset_fingerprint", "rects_fingerprint"]
 
 #: 128-bit digests: collision-safe for any realistic catalog size.
 _DIGEST_BYTES = 16
@@ -68,6 +69,27 @@ def dataset_fingerprint(dataset: SpatialDataset) -> str:
     digest = hashlib.blake2b(digest_size=_DIGEST_BYTES)
     digest.update(struct.pack("<q", n))
     digest.update(struct.pack("<4d", *dataset.extent.as_tuple()))
+    for coords in (rects.xmin, rects.ymin, rects.xmax, rects.ymax):
+        bits = np.ascontiguousarray(coords, dtype=np.float64).view(np.uint64)
+        acc = int((bits * weights).sum(dtype=np.uint64))
+        digest.update(struct.pack("<Q", acc))
+    return digest.hexdigest()
+
+
+def rects_fingerprint(rects: RectArray) -> str:
+    """Hex digest identifying a bare rectangle array's geometry.
+
+    Same multiply-mix fold as :func:`dataset_fingerprint` but without an
+    extent (a rect array has none) and under a distinct domain tag, so a
+    dataset and its own rect array can never collide in a shared map.
+    The tree cache keys on this: sample R-trees are built from plain
+    rect arrays, not datasets.
+    """
+    n = len(rects)
+    weights = _mix_weights(n)
+    digest = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    digest.update(b"rects")
+    digest.update(struct.pack("<q", n))
     for coords in (rects.xmin, rects.ymin, rects.xmax, rects.ymax):
         bits = np.ascontiguousarray(coords, dtype=np.float64).view(np.uint64)
         acc = int((bits * weights).sum(dtype=np.uint64))

@@ -2,9 +2,26 @@
 
 The paper indexes datasets (and samples) with R-trees and computes the
 actual join — the estimators' ground truth — via synchronized traversal.
+Two join substrates share one contract: the pointer-based object tree
+(:class:`RTree`, the reference engine) and the flat structure-of-arrays
+tree (:class:`FlatRTree`, the fast engine used by the sampling
+estimators), whose join counts are bit-identical.
 """
 
-from .bulk import bulk_load_hilbert, bulk_load_str, pack_sorted
+from .bulk import (
+    bulk_load_hilbert,
+    bulk_load_str,
+    hilbert_center_order,
+    pack_sorted,
+    str_order,
+)
+from .flat import (
+    FlatRTree,
+    flat_join_count,
+    flat_join_pairs,
+    flat_load_hilbert,
+    flat_load_str,
+)
 from .join import iter_join_pairs, rtree_join_count, rtree_join_pairs
 from .node import Node
 from .query import count_intersecting, search_contained, search_intersecting
@@ -14,10 +31,17 @@ from .stats import BYTES_PER_ENTRY, TreeStats, collect_stats, tree_size_bytes
 __all__ = [
     "RTree",
     "Node",
+    "FlatRTree",
     "DEFAULT_MAX_ENTRIES",
     "bulk_load_str",
     "bulk_load_hilbert",
     "pack_sorted",
+    "str_order",
+    "hilbert_center_order",
+    "flat_load_str",
+    "flat_load_hilbert",
+    "flat_join_count",
+    "flat_join_pairs",
     "search_intersecting",
     "search_contained",
     "count_intersecting",

@@ -26,16 +26,25 @@ from ..hilbert import DEFAULT_ORDER, hilbert_sort_order
 from .node import Node
 from .rtree import DEFAULT_MAX_ENTRIES, RTree
 
-__all__ = ["bulk_load_str", "bulk_load_hilbert", "pack_sorted"]
+__all__ = [
+    "bulk_load_str",
+    "bulk_load_hilbert",
+    "pack_sorted",
+    "str_order",
+    "hilbert_center_order",
+]
 
 
-def bulk_load_str(
-    rects: RectArray, *, max_entries: int = DEFAULT_MAX_ENTRIES
-) -> RTree:
-    """Build a packed R-tree with Sort-Tile-Recursive ordering."""
+def str_order(rects: RectArray, *, max_entries: int = DEFAULT_MAX_ENTRIES) -> np.ndarray:
+    """The Sort-Tile-Recursive packing permutation for ``rects``.
+
+    Shared by the object packer (:func:`bulk_load_str`) and the flat
+    loader (:func:`repro.rtree.flat.flat_load_str`), so both produce the
+    same tree shape from the same input.
+    """
     n = len(rects)
     if n == 0:
-        return _empty_tree(max_entries)
+        return np.empty(0, dtype=np.int64)
     cx, cy = rects.centers()
     leaf_count = math.ceil(n / max_entries)
     slab_count = math.ceil(math.sqrt(leaf_count))
@@ -47,7 +56,34 @@ def bulk_load_str(
         slab = by_x[s : s + slab_size]
         slab_sorted = slab[np.argsort(cy[slab], kind="stable")]
         order[s : s + len(slab)] = slab_sorted
-    return pack_sorted(rects, order, max_entries=max_entries)
+    return order
+
+
+def hilbert_center_order(
+    rects: RectArray, *, order_bits: int = DEFAULT_ORDER
+) -> np.ndarray:
+    """The Hilbert-value packing permutation over rectangle centers."""
+    n = len(rects)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    cx, cy = rects.centers()
+    bounds = rects.bounds()
+    return hilbert_sort_order(
+        cx,
+        cy,
+        extent_min=(bounds.xmin, bounds.ymin),
+        extent_size=(max(bounds.width, 1e-12), max(bounds.height, 1e-12)),
+        order=order_bits,
+    )
+
+
+def bulk_load_str(
+    rects: RectArray, *, max_entries: int = DEFAULT_MAX_ENTRIES
+) -> RTree:
+    """Build a packed R-tree with Sort-Tile-Recursive ordering."""
+    if len(rects) == 0:
+        return _empty_tree(max_entries)
+    return pack_sorted(rects, str_order(rects, max_entries=max_entries), max_entries=max_entries)
 
 
 def bulk_load_hilbert(
@@ -57,19 +93,11 @@ def bulk_load_hilbert(
     order_bits: int = DEFAULT_ORDER,
 ) -> RTree:
     """Build a packed R-tree in Hilbert-value order of rectangle centers."""
-    n = len(rects)
-    if n == 0:
+    if len(rects) == 0:
         return _empty_tree(max_entries)
-    cx, cy = rects.centers()
-    bounds = rects.bounds()
-    order = hilbert_sort_order(
-        cx,
-        cy,
-        extent_min=(bounds.xmin, bounds.ymin),
-        extent_size=(max(bounds.width, 1e-12), max(bounds.height, 1e-12)),
-        order=order_bits,
+    return pack_sorted(
+        rects, hilbert_center_order(rects, order_bits=order_bits), max_entries=max_entries
     )
-    return pack_sorted(rects, order, max_entries=max_entries)
 
 
 def pack_sorted(

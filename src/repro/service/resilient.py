@@ -53,7 +53,7 @@ from ..runtime import Deadline, runtime_scope
 from .validate import VALIDATION_POLICIES, ValidationReport, validate_pair
 
 if TYPE_CHECKING:
-    from ..perf.cache import HistogramCache
+    from ..perf.cache import FlatTreeCache, HistogramCache
 
 __all__ = [
     "AttemptRecord",
@@ -192,6 +192,12 @@ class ResilientEstimator(JoinSelectivityEstimator):
         degraded answer arrives in O(cells) instead of O(data).  Builds
         performed while a fault hook is active are never cached, so
         fault-injection semantics are unchanged.
+    tree_cache:
+        Optional :class:`~repro.perf.cache.FlatTreeCache`.  Threaded
+        into every sampling rung that runs the flat join engine (and
+        does not already carry a cache of its own), so repeated calls
+        against the same data reuse bulk-loaded sample trees the same
+        way the histogram rungs reuse built histogram files.
     """
 
     name = "resilient"
@@ -206,6 +212,7 @@ class ResilientEstimator(JoinSelectivityEstimator):
         chain: Sequence[JoinSelectivityEstimator] | None = None,
         validation: str = "repair",
         cache: "HistogramCache | None" = None,
+        tree_cache: "FlatTreeCache | None" = None,
         **primary_kwargs: object,
     ) -> None:
         if isinstance(primary, str):
@@ -230,6 +237,17 @@ class ResilientEstimator(JoinSelectivityEstimator):
             from ..perf.cache import CachedEstimator  # service → perf, no cycle
 
             self.chain = tuple(CachedEstimator.wrap(rung, cache) for rung in self.chain)
+        self.tree_cache = tree_cache
+        if tree_cache is not None:
+            for rung in self.chain:
+                inner = getattr(rung, "inner", None)
+                if (
+                    isinstance(rung, SamplingEstimatorAdapter)
+                    and inner is not None
+                    and getattr(inner, "join_method", None) == "flat"
+                    and getattr(inner, "tree_cache", None) is None
+                ):
+                    inner.tree_cache = tree_cache
         if validation not in VALIDATION_POLICIES:
             raise ValueError(
                 f"unknown validation policy {validation!r}; "

@@ -1,7 +1,7 @@
-"""Cross-engine agreement: all five exact joins (including the
-multiprocess partition engine) must produce identical results on every
-input shape, including adversarial ones (touching edges, duplicates,
-points, heavy skew)."""
+"""Cross-engine agreement: all six exact joins (including the
+multiprocess partition engine and the flat SoA R-tree engine) must
+produce identical results on every input shape, including adversarial
+ones (touching edges, duplicates, points, heavy skew)."""
 
 import numpy as np
 import pytest
@@ -24,7 +24,14 @@ from repro.join import (
     plane_sweep_pairs,
 )
 from repro.parallel import parallel_partition_join_count, parallel_partition_join_pairs
-from repro.rtree import bulk_load_str, rtree_join_count, rtree_join_pairs
+from repro.rtree import (
+    bulk_load_str,
+    flat_join_count,
+    flat_join_pairs,
+    flat_load_str,
+    rtree_join_count,
+    rtree_join_pairs,
+)
 from tests.conftest import random_rects
 
 
@@ -41,12 +48,14 @@ COUNTERS = {
     "sweep": plane_sweep_count,
     "partition": partition_join_count,
     "rtree": lambda a, b: rtree_join_count(bulk_load_str(a), bulk_load_str(b)),
+    "flat": lambda a, b: flat_join_count(flat_load_str(a), flat_load_str(b)),
 }
 PAIRERS = {
     "nested": nested_loop_pairs,
     "sweep": plane_sweep_pairs,
     "partition": partition_join_pairs,
     "rtree": lambda a, b: rtree_join_pairs(bulk_load_str(a), bulk_load_str(b)),
+    "flat": lambda a, b: flat_join_pairs(flat_load_str(a), flat_load_str(b)),
 }
 # The full differential matrix adds the multiprocess engine.  The
 # hypothesis property tests below keep the serial dicts: spinning one
@@ -119,9 +128,10 @@ _MATRIX_PAIRS = {
 
 @pytest.mark.accuracy
 class TestDifferentialMatrix:
-    """Random datasets × all five engines: counts AND pair sets must
-    agree exactly.  This is the differential gate the parallel oracle is
-    held to — one seeded matrix row per spatial pathology."""
+    """Random datasets × all six engines: counts AND pair sets must
+    agree exactly.  This is the differential gate the parallel oracle
+    and the flat SoA engine are held to — one seeded matrix row per
+    spatial pathology."""
 
     @pytest.mark.parametrize("pair_name", sorted(_MATRIX_PAIRS))
     def test_counts_and_pairs_agree(self, pair_name):

@@ -1,0 +1,24 @@
+"""Fixture: wall-clock timing — R007 at lines 4 and 10."""
+
+import time
+from time import time as wall
+
+import numpy as np
+
+
+def elapsed(started: float) -> float:
+    return time.time() - started
+
+
+def stamp() -> float:
+    return wall()
+
+
+def fine(started: float) -> float:
+    # perf_counter is the sanctioned duration source.
+    return time.perf_counter() - started
+
+
+def unrelated() -> np.ndarray:
+    # Dotted names ending in .time on other roots are not the wall clock.
+    return np.empty(0, dtype=np.float64)

@@ -115,6 +115,21 @@ class TestR006ExportSoundness:
         assert hits == []
 
 
+class TestR007WallClock:
+    def test_flags_wall_clock_call_and_from_import(self):
+        hits = rules_hit(PKG / "core" / "r007_wall_clock.py")
+        assert hits == [("R007", 4), ("R007", 10)]
+
+    def test_perf_counter_and_unrelated_dotted_time_are_clean(self):
+        diags = lint_file(PKG / "core" / "r007_wall_clock.py")
+        assert all(d.line in (4, 10) for d in diags)
+
+    def test_live_tree_timing_code_is_clean(self):
+        # The estimator's timing breakdown is perf_counter-based.
+        src = Path(__file__).parents[2] / "src" / "repro" / "sampling" / "estimator.py"
+        assert rules_hit(src, select=["R007"]) == []
+
+
 class TestSuppressions:
     def test_suppressed_file_is_clean(self):
         assert rules_hit(PKG / "histograms" / "suppressed.py") == []
@@ -163,8 +178,10 @@ class TestCleanFixtureAndParseErrors:
 
 
 class TestRegistry:
-    def test_all_six_domain_rules_registered(self):
-        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    def test_all_seven_domain_rules_registered(self):
+        assert sorted(RULES) == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
     def test_rule_metadata_complete(self):
         for rule in RULES.values():
