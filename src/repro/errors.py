@@ -29,6 +29,8 @@ __all__ = [
     "EstimationTimeout",
     "EstimatorUnavailable",
     "TransientEstimationError",
+    "ServiceOverloadError",
+    "ShardUnavailableError",
     "DegradedResultWarning",
 ]
 
@@ -75,6 +77,55 @@ class TransientEstimationError(ReproError, RuntimeError):
     """A fault that is expected to succeed on retry (e.g. a hiccup in a
     storage or statistics backend).  The resilient service retries these
     with bounded backoff before falling back."""
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The serving front door refused this request to protect the system.
+
+    Raised by :mod:`repro.serve` admission control instead of buffering
+    without bound: a full admission queue, an exhausted per-tenant token
+    bucket, or the shed rung of the degradation ladder all reject with
+    this type so clients can distinguish "retry later" from a failure of
+    the estimation machinery.  ``reason`` is a short machine token
+    (``"queue-full"``, ``"quota"``, ``"shed"``); ``queue_depth`` and
+    ``tenant`` carry the observables behind the decision when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        queue_depth: int | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Machine-readable rejection cause ("queue-full", "quota", "shed").
+        self.reason = reason
+        #: Admission-queue depth observed at rejection time, when known.
+        self.queue_depth = queue_depth
+        #: Tenant whose quota rejected the request, when quota-based.
+        self.tenant = tenant
+
+
+class ShardUnavailableError(EstimatorUnavailable):
+    """A shard of the serving worker pool cannot take this call.
+
+    Covers a crashed worker process awaiting its restart backoff, an
+    open circuit breaker, and a shard that exhausted its restart budget.
+    Subclasses :class:`EstimatorUnavailable` so the degradation ladder
+    (and the resilient fallback chain) treat it as "answer from a
+    cheaper rung", not as a client error.
+    """
+
+    def __init__(
+        self, message: str, *, shard_id: int | None = None, state: str = ""
+    ) -> None:
+        super().__init__(message)
+        #: Which shard refused, when known.
+        self.shard_id = shard_id
+        #: Supervisor state behind the refusal ("open", "dead", "failed").
+        self.state = state
 
 
 class DegradedResultWarning(UserWarning):

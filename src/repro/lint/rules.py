@@ -497,6 +497,87 @@ def _check_wall_clock(ctx: FileContext) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# R008 — no blocking sleeps
+# ----------------------------------------------------------------------
+
+#: ``(module, function)`` pairs allowed to call the blocking
+#: ``time.sleep``: the resilient chain's deadline-clamped backoff and the
+#: fault injector's latency rule.  Everything else must either not sleep
+#: or (in ``async def``) await ``asyncio.sleep`` so the event loop keeps
+#: serving.
+_SLEEP_SANCTIONED = frozenset(
+    {
+        ("repro.service.resilient", "_backoff"),
+        ("repro.service.faults", "on_checkpoint"),
+    }
+)
+
+
+def _sleep_aliases(tree: ast.Module) -> frozenset[str]:
+    """Local names bound to ``time.sleep`` via ``from time import sleep``."""
+    names = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module == "time" and stmt.level == 0:
+            for alias in stmt.names:
+                if alias.name == "sleep":
+                    names.add(alias.asname or alias.name)
+    return frozenset(names)
+
+
+def _check_blocking_sleep(ctx: FileContext) -> list[Diagnostic]:
+    """A blocking ``time.sleep`` freezes whatever is sharing the thread:
+    in an ``async def`` it stalls the *entire* event loop (every other
+    request's latency inherits the pause), and in library code it hides
+    time the deadline machinery cannot see.  Pauses belong to the
+    sanctioned backoff/fault-injection helpers; coroutines must await
+    ``asyncio.sleep`` instead."""
+    if not ctx.in_repro:
+        return []
+    aliases = _sleep_aliases(ctx.tree)
+    out = []
+
+    def walk(node: ast.AST, func: str | None, is_async: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(child, child.name, isinstance(child, ast.AsyncFunctionDef))
+                continue
+            if isinstance(child, ast.Call):
+                parts = _dotted(child.func)
+                is_sleep = parts == ("time", "sleep") or (
+                    parts is not None and len(parts) == 1 and parts[0] in aliases
+                )
+                if is_sleep:
+                    if is_async:
+                        out.append(
+                            ctx.diagnostic(
+                                "R008",
+                                "blocking-sleep",
+                                child,
+                                "blocking 'time.sleep' inside 'async def' "
+                                "stalls the whole event loop — await "
+                                "'asyncio.sleep' instead",
+                            )
+                        )
+                    elif (ctx.module, func) not in _SLEEP_SANCTIONED:
+                        out.append(
+                            ctx.diagnostic(
+                                "R008",
+                                "blocking-sleep",
+                                child,
+                                "blocking 'time.sleep' outside the sanctioned "
+                                "backoff helpers — pauses must be deadline-"
+                                "clamped backoff (resilient chain), injected "
+                                "fault latency, or 'asyncio.sleep' in "
+                                "coroutines",
+                            )
+                        )
+            walk(child, func, is_async)
+
+    walk(ctx.tree, None, False)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -554,6 +635,13 @@ RULES: dict[str, Rule] = {
             "no wall-clock time.time() in library code; durations use the "
             "monotonic time.perf_counter()",
             _check_wall_clock,
+        ),
+        Rule(
+            "R008",
+            "blocking-sleep",
+            "no blocking time.sleep outside the sanctioned backoff helpers; "
+            "async code must await asyncio.sleep",
+            _check_blocking_sleep,
         ),
     )
 }

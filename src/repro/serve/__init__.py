@@ -1,0 +1,56 @@
+"""The asyncio serving front door over the estimation stack.
+
+Everything below this package answers *one* selectivity question as
+well as it can; this package answers *millions*, concurrently, without
+falling over.  The pipeline, in request order:
+
+* :mod:`~repro.serve.admission` — bounded queue + per-tenant token
+  buckets; over capacity is an immediate typed
+  :class:`~repro.errors.ServiceOverloadError`, never unbounded
+  buffering;
+* :mod:`~repro.serve.degrade` — queue pressure selects a rung on the
+  graceful-degradation ladder (full → cached-coarse → parametric →
+  shed), and rung failures descend the same ladder; every response
+  carries :class:`~repro.serve.degrade.ServeProvenance`;
+* :mod:`~repro.serve.batcher` — concurrent queries coalesce into one
+  :func:`~repro.perf.batch.estimate_many` call with poison-query
+  isolation (a failed batch retries its members solo);
+* :mod:`~repro.serve.shards` — a supervised pool of persistent fork
+  workers, each owning a catalog slice over shared memory, with health
+  checks, bounded restart-with-backoff, and per-shard circuit breakers;
+* :mod:`~repro.serve.loop` — :class:`EstimationServer`, the async
+  entry point tying the stages together with end-to-end cooperative
+  deadlines;
+* :mod:`~repro.serve.loadgen` — the open-loop load generator and the
+  ``BENCH_serve.json`` schema used by the serving benchmark and CI.
+"""
+
+from .admission import AdmissionController, AdmissionStats, AdmissionTicket, TokenBucket
+from .batcher import BatcherStats, MicroBatcher
+from .degrade import DegradationLadder, DegradePolicy, ServeProvenance, ServiceRung
+from .loadgen import LoadReport, run_load, validate_bench_report
+from .loop import EstimationServer, ServeRequest, ServeResponse, ServerConfig
+from .shards import CircuitBreaker, ShardPool, ShardStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AdmissionTicket",
+    "TokenBucket",
+    "BatcherStats",
+    "MicroBatcher",
+    "DegradationLadder",
+    "DegradePolicy",
+    "ServeProvenance",
+    "ServiceRung",
+    "LoadReport",
+    "run_load",
+    "validate_bench_report",
+    "EstimationServer",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerConfig",
+    "CircuitBreaker",
+    "ShardPool",
+    "ShardStats",
+]

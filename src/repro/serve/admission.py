@@ -1,0 +1,228 @@
+"""Admission control: bounded queue + per-tenant token buckets.
+
+The front door's first rule is *never buffer without bound*.  Every
+request must acquire an :class:`AdmissionTicket` before any estimation
+work starts; when the bounded queue is full — or the tenant's token
+bucket is dry — the request is rejected **immediately** with a typed
+:class:`~repro.errors.ServiceOverloadError` instead of joining an
+ever-growing backlog.  Explicit rejection keeps latency bounded under
+overload (clients can retry with backoff); silent queueing converts an
+overload into a latency collapse and, eventually, an OOM.
+
+The occupancy of the queue doubles as the *pressure* signal driving the
+graceful-degradation ladder (:mod:`repro.serve.degrade`): the fuller
+the queue, the cheaper the rung the server selects.
+
+Everything here is deterministic and clock-injectable: the token bucket
+refills from an explicit monotonic ``clock`` callable, so tests drive
+quota decisions with a fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import ServiceOverloadError
+
+__all__ = [
+    "TokenBucket",
+    "AdmissionTicket",
+    "AdmissionStats",
+    "AdmissionController",
+]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate`` tokens/s up to ``burst``.
+
+    The bucket starts full.  :meth:`try_acquire` refills lazily from the
+    injected monotonic clock and takes one token when available — no
+    background task, no sleeping, O(1) per call.
+    """
+
+    __slots__ = ("rate", "burst", "_clock", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: float, *, clock: Clock = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least one token, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; False (and no wait) otherwise."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate:g}/s, burst={self.burst:g})"
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission for one in-flight request (release exactly once)."""
+
+    tenant: str
+    released: bool = False
+
+
+@dataclass
+class AdmissionStats:
+    """Monotonic counters describing admission decisions since creation."""
+
+    admitted: int = 0
+    released: int = 0
+    rejected_queue: int = 0  #: rejections because the bounded queue was full
+    rejected_quota: int = 0  #: rejections because the tenant bucket was dry
+    high_water: int = 0  #: deepest simultaneous occupancy observed
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections, regardless of cause."""
+        return self.rejected_queue + self.rejected_quota
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "admitted": self.admitted,
+            "released": self.released,
+            "rejected_queue": self.rejected_queue,
+            "rejected_quota": self.rejected_quota,
+            "rejected": self.rejected,
+            "high_water": self.high_water,
+        }
+
+
+class AdmissionController:
+    """Bounded admission queue with optional per-tenant quotas.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard cap on simultaneously admitted requests.  The ``max_depth
+        + 1``-th concurrent request is rejected with
+        :class:`ServiceOverloadError` (``reason="queue-full"``) — the
+        system never buffers beyond this.
+    tenant_rate / tenant_burst:
+        When ``tenant_rate`` is given, each tenant gets a
+        :class:`TokenBucket` refilling at that rate (tokens/s) with the
+        given burst; an empty bucket rejects with ``reason="quota"``
+        *before* the shared queue is consulted, so one noisy tenant
+        cannot monopolize admission.
+    clock:
+        Monotonic clock injected into every tenant bucket (tests pass a
+        fake; production uses ``time.monotonic``).
+
+    Single-loop discipline: the controller is designed to be called from
+    one asyncio event loop (the server's); it keeps no locks.
+    """
+
+    def __init__(
+        self,
+        max_depth: int,
+        *,
+        tenant_rate: float | None = None,
+        tenant_burst: float = 20.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.stats = AdmissionStats()
+        self._clock = clock
+        self._depth = 0
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet released."""
+        return self._depth
+
+    @property
+    def pressure(self) -> float:
+        """Queue occupancy in ``[0, 1]`` — the degradation ladder's input."""
+        return self._depth / self.max_depth
+
+    def bucket_for(self, tenant: str) -> TokenBucket | None:
+        """The tenant's quota bucket (None when quotas are disabled)."""
+        if self.tenant_rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate, self.tenant_burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str = "default") -> AdmissionTicket:
+        """Admit one request or reject it *now* — never queue unboundedly.
+
+        Raises :class:`ServiceOverloadError` with ``reason="quota"``
+        (tenant bucket dry) or ``reason="queue-full"`` (bounded queue at
+        capacity).  On success returns a ticket the caller must
+        :meth:`release` when the request leaves the system.
+        """
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            self.stats.rejected_quota += 1
+            raise ServiceOverloadError(
+                f"tenant {tenant!r} exceeded its quota "
+                f"({self.tenant_rate:g} q/s, burst {self.tenant_burst:g})",
+                reason="quota",
+                tenant=tenant,
+                queue_depth=self._depth,
+            )
+        if self._depth >= self.max_depth:
+            self.stats.rejected_queue += 1
+            raise ServiceOverloadError(
+                f"admission queue full ({self._depth}/{self.max_depth})",
+                reason="queue-full",
+                queue_depth=self._depth,
+                tenant=tenant,
+            )
+        self._depth += 1
+        self.stats.admitted += 1
+        if self._depth > self.stats.high_water:
+            self.stats.high_water = self._depth
+        return AdmissionTicket(tenant=tenant)
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return the ticket's queue slot (idempotent per ticket)."""
+        if ticket.released:
+            return
+        ticket.released = True
+        self._depth -= 1
+        self.stats.released += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(depth={self._depth}/{self.max_depth}, "
+            f"pressure={self.pressure:.2f})"
+        )

@@ -1,0 +1,240 @@
+"""Micro-batching: coalesce concurrent queries into one ``estimate_many``.
+
+A serving loop receives queries one at a time, but
+:func:`repro.perf.estimate_many` is dramatically cheaper per query when
+given many at once (cross-query build dedup + cache).  The
+:class:`MicroBatcher` bridges the two: queries submitted within a small
+window (``max_delay_s``, or until ``max_batch`` accumulate) are fused
+into one batch and executed by a pluggable *runner* on the server's
+thread pool.  The results are exactly what per-query estimation would
+produce — ``estimate_many`` guarantees that — so batching changes
+latency, not answers.
+
+Failure isolation is the subtle part: one **poison query** must not
+fail its batchmates.  When a batch run raises, the batcher retries each
+member *individually*; only the queries that fail on their own see the
+exception.  Deadlines compose the same way: the batch runs under the
+*tightest* member deadline (so nobody's budget is silently exceeded by
+a batchmate's work), and a member whose deadline forced the batch down
+is re-run solo under its own remaining budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import EstimatorUnavailable
+from ..perf.batch import BatchQuery
+from ..runtime import Deadline
+
+__all__ = ["BatchRunner", "BatcherStats", "MicroBatcher"]
+
+#: Executes a fused batch synchronously (on an executor thread) under an
+#: optional deadline budget in seconds; returns one selectivity per query.
+BatchRunner = Callable[[Sequence[BatchQuery], "float | None"], "list[float]"]
+
+
+@dataclass
+class BatcherStats:
+    """Monotonic counters describing batching behaviour since creation."""
+
+    queries: int = 0
+    batches: int = 0  #: fused runs dispatched (each covers >= 1 query)
+    batch_failures: int = 0  #: fused runs that raised and fell to solo retries
+    solo_retries: int = 0  #: individual re-runs after a fused failure
+    expired_before_run: int = 0  #: members rejected with an expired deadline
+
+    @property
+    def coalesced(self) -> int:
+        """Queries that shared a fused run with at least one other."""
+        return self.queries - self.batches
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "batch_failures": self.batch_failures,
+            "solo_retries": self.solo_retries,
+            "expired_before_run": self.expired_before_run,
+        }
+
+
+@dataclass
+class _Pending:
+    """One submitted query waiting for its batch to run."""
+
+    query: BatchQuery
+    deadline: Deadline | None
+    future: "asyncio.Future[float]" = field(repr=False, kw_only=True)
+
+
+class MicroBatcher:
+    """Time/size-windowed coalescer over a synchronous batch runner.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(queries, deadline_s) -> [selectivity, ...]``, executed
+        on ``loop.run_in_executor``.  The server supplies a runner that
+        installs a :class:`~repro.runtime.Deadline` scope and calls
+        :func:`~repro.perf.estimate_many` with the shared cache.
+    max_batch:
+        Flush as soon as this many queries are pending.
+    max_delay_s:
+        Flush this long after the first query of a window arrives.  The
+        window is the latency cost of batching; keep it well under the
+        request deadline.
+    executor:
+        Optional ``concurrent.futures`` executor for the runner (None =
+        the event loop's default).
+
+    Call :meth:`submit` from the owning event loop only; call
+    :meth:`aclose` on shutdown to flush and settle every pending future.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        *,
+        max_batch: int = 16,
+        max_delay_s: float = 0.002,
+        executor: object = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self._runner = runner
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._executor = executor
+        self.stats = BatcherStats()
+        self._pending: list[_Pending] = []
+        self._window_task: "asyncio.Task[None] | None" = None
+        self._inflight: set["asyncio.Task[None]"] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def submit(self, query: BatchQuery, deadline: Deadline | None = None) -> float:
+        """Estimate one query through the current batching window.
+
+        Awaits the fused (or solo-retried) result; raises whatever the
+        query's own execution raised — including
+        :class:`~repro.errors.EstimationTimeout` when ``deadline`` was
+        already expired at submission time (storm protection: expired
+        requests never reach the runner at all).
+        """
+        if self._closed:
+            raise EstimatorUnavailable("MicroBatcher is closed")
+        loop = asyncio.get_running_loop()
+        if deadline is not None and deadline.expired:
+            self.stats.expired_before_run += 1
+            deadline.check("serve.batch.submit")  # raises EstimationTimeout
+        future: "asyncio.Future[float]" = loop.create_future()
+        self._pending.append(_Pending(query, deadline, future=future))
+        self.stats.queries += 1
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._window_task is None:
+            self._window_task = loop.create_task(self._window())
+        return await future
+
+    async def aclose(self) -> None:
+        """Flush pending queries and wait for every in-flight batch."""
+        self._flush()
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    async def _window(self) -> None:
+        """Time trigger: flush whatever accumulated within the window."""
+        try:
+            await asyncio.sleep(self.max_delay_s)
+        except asyncio.CancelledError:
+            raise  # a size trigger (or close) already flushed
+        self._window_task = None
+        self._flush()
+
+    def _flush(self) -> None:
+        """Move the pending window into an in-flight batch task."""
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        """Execute one fused batch; on failure, retry members solo."""
+        self.stats.batches += 1
+        loop = asyncio.get_running_loop()
+        queries = [p.query for p in batch]
+        deadline_s = _tightest_budget(batch)
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._runner, queries, deadline_s  # type: ignore[arg-type]
+            )
+        except asyncio.CancelledError:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.cancel()
+            raise
+        # The solo retry IS the isolation mechanism: any fused failure —
+        # poison query, tightest-deadline expiry, transient fault — must
+        # be re-attributed to the member(s) that actually cause it.
+        except Exception:  # repro-lint: disable=R005  # noqa: BLE001
+            self.stats.batch_failures += 1
+            await self._retry_solo(batch)
+        else:
+            for pending, value in zip(batch, results):
+                if not pending.future.done():
+                    pending.future.set_result(value)
+
+    async def _retry_solo(self, batch: list[_Pending]) -> None:
+        """Re-run each member alone so only genuine failures propagate."""
+        loop = asyncio.get_running_loop()
+        for pending in batch:
+            if pending.future.done():
+                continue
+            self.stats.solo_retries += 1
+            budget = _tightest_budget([pending])
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._runner, [pending.query], budget  # type: ignore[arg-type]
+                )
+            except asyncio.CancelledError:
+                pending.future.cancel()
+                raise
+            except Exception as exc:  # repro-lint: disable=R005  # noqa: BLE001
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            else:
+                if not pending.future.done():
+                    pending.future.set_result(results[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(max_batch={self.max_batch}, "
+            f"max_delay_s={self.max_delay_s:g}, pending={len(self._pending)})"
+        )
+
+
+def _tightest_budget(batch: "list[_Pending]") -> "float | None":
+    """The smallest remaining deadline across members (None = unbudgeted).
+
+    Clamped at zero: a member that expired while waiting in the window
+    yields a zero budget, so the runner's first checkpoint raises and
+    the solo-retry path attributes the timeout to the right member.
+    """
+    budgets = [p.deadline.remaining for p in batch if p.deadline is not None]
+    if not budgets:
+        return None
+    return max(0.0, min(budgets))

@@ -1,0 +1,153 @@
+"""The graceful-degradation ladder: pressure in, rung out.
+
+Under load, an estimation service has exactly three honest options:
+answer with the requested quality, answer with a *cheaper, known-coarser*
+quality, or refuse.  The ladder makes that decision explicit and
+observable.  Measured queue pressure (admission-queue occupancy in
+``[0, 1]``) selects the cheapest acceptable rung:
+
+=================  =======================================================
+rung               cost / quality trade
+=================  =======================================================
+``full``           the requested estimator, through the micro-batcher or
+                   the shard pool — O(data) on a cold cache
+``cached-coarse``  a coarser histogram via the content-addressed cache
+                   (2×2-pooled from a cached finer GH when possible —
+                   O(cells), see :func:`~repro.histograms.downsample_gh`)
+``parametric``     the Aref–Samet closed form over four first-order
+                   statistics — microseconds, cannot time out
+``shed``           explicit refusal (:class:`~repro.errors.ServiceOverloadError`)
+                   — the only rung that does not answer
+=================  =======================================================
+
+The same ladder also absorbs *failures*: when a rung raises (shard
+crash, deadline expiry, poison query), the server falls to the next
+rung down via :meth:`DegradationLadder.next_below` — mirroring the
+:class:`~repro.service.resilient.ResilientEstimator` chain — and the
+response's :class:`ServeProvenance` records which rung answered and
+why, so a degraded answer is never confused with a full-quality one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+__all__ = ["ServiceRung", "DegradePolicy", "ServeProvenance", "DegradationLadder"]
+
+
+class ServiceRung(Enum):
+    """One level of the serving ladder, best (FULL) to worst (SHED)."""
+
+    FULL = "full"
+    CACHED = "cached-coarse"
+    PARAMETRIC = "parametric"
+    SHED = "shed"
+
+
+#: Ladder order, used for both pressure selection and failure descent.
+_ORDER = (
+    ServiceRung.FULL,
+    ServiceRung.CACHED,
+    ServiceRung.PARAMETRIC,
+    ServiceRung.SHED,
+)
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Pressure thresholds (each in ``[0, 1]``) and coarsening step.
+
+    A request admitted at pressure ``p`` runs at the cheapest rung whose
+    threshold is exceeded: ``cached_at <= p`` degrades to the cached
+    coarser histogram, ``parametric_at <= p`` to the closed form,
+    ``shed_at <= p`` refuses outright.  ``coarsen_by`` is how many
+    levels the ``cached-coarse`` rung drops from the requested one.
+    """
+
+    cached_at: float = 0.50
+    parametric_at: float = 0.75
+    shed_at: float = 0.95
+    coarsen_by: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cached_at <= self.parametric_at <= self.shed_at:
+            raise ValueError(
+                "thresholds must satisfy 0 < cached_at <= parametric_at <= "
+                f"shed_at, got {self.cached_at}, {self.parametric_at}, {self.shed_at}"
+            )
+        if self.coarsen_by < 1:
+            raise ValueError(f"coarsen_by must be >= 1, got {self.coarsen_by}")
+
+
+@dataclass(frozen=True)
+class ServeProvenance:
+    """Who answered one request, at what pressure, and why.
+
+    Attached to every :class:`~repro.serve.loop.ServeResponse` the same
+    way :class:`~repro.service.resilient.Provenance` annotates resilient
+    estimates: ``degraded`` is True whenever the answer did not come
+    from the ``full`` rung at the requested quality, and ``reason``
+    carries the first failure that forced a descent (empty when the
+    rung was selected purely by pressure).
+    """
+
+    rung: str  #: ServiceRung value that produced the answer
+    requested: str  #: what the client asked for, e.g. ``"gh(level=7)"``
+    degraded: bool  #: True unless the full rung answered cleanly
+    pressure: float  #: admission-queue pressure when the rung was chosen
+    reason: str = ""  #: first failure that forced a descent ("" = pressure only)
+    via: str = "local"  #: execution path: "batch", "shards", or "local"
+    shard_ids: tuple[int, ...] = ()  #: shards consulted (shard path only)
+
+
+class DegradationLadder:
+    """Stateful rung selector with per-rung counters.
+
+    :meth:`select` maps measured pressure to a rung per
+    :class:`DegradePolicy`; :meth:`next_below` yields the next-cheaper
+    *answering* rung for failure descent (it never returns SHED — a
+    failure makes us answer more cheaply, not refuse after admitting);
+    :meth:`record` tallies which rung ultimately answered.
+    """
+
+    def __init__(self, policy: DegradePolicy | None = None) -> None:
+        self.policy = policy if policy is not None else DegradePolicy()
+        self.counts: Dict[str, int] = {rung.value: 0 for rung in _ORDER}
+
+    def select(self, pressure: float) -> ServiceRung:
+        """The cheapest acceptable rung for this much queue pressure."""
+        policy = self.policy
+        if pressure >= policy.shed_at:
+            return ServiceRung.SHED
+        if pressure >= policy.parametric_at:
+            return ServiceRung.PARAMETRIC
+        if pressure >= policy.cached_at:
+            return ServiceRung.CACHED
+        return ServiceRung.FULL
+
+    @staticmethod
+    def next_below(rung: ServiceRung) -> "ServiceRung | None":
+        """The next-cheaper answering rung, or None below the floor.
+
+        FULL → CACHED → PARAMETRIC → None: failure descent stops at the
+        closed form (which needs only first-order statistics and cannot
+        time out); it never *sheds* a request that was already admitted.
+        """
+        if rung is ServiceRung.FULL:
+            return ServiceRung.CACHED
+        if rung is ServiceRung.CACHED:
+            return ServiceRung.PARAMETRIC
+        return None
+
+    def record(self, rung: ServiceRung) -> None:
+        """Tally that ``rung`` answered (or shed) one request."""
+        self.counts[rung.value] += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Per-rung answer counts for reports and benchmark JSON."""
+        return dict(self.counts)
+
+    def __repr__(self) -> str:
+        return f"DegradationLadder({self.policy!r}, counts={self.counts})"

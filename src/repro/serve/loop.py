@@ -1,0 +1,377 @@
+"""The serving front door: admission → rung selection → execution.
+
+:class:`EstimationServer` is the asyncio entry point that turns the
+batch-oriented estimation stack into a long-running service.  One
+:meth:`~EstimationServer.submit` call walks the full pipeline:
+
+1. **admission** — a bounded queue plus per-tenant token buckets
+   (:mod:`repro.serve.admission`); over capacity means an immediate
+   typed :class:`~repro.errors.ServiceOverloadError`, never unbounded
+   buffering;
+2. **rung selection** — measured queue pressure picks the cheapest
+   acceptable rung on the graceful-degradation ladder
+   (:mod:`repro.serve.degrade`);
+3. **execution** — ``full`` runs through the micro-batcher
+   (:mod:`repro.serve.batcher`) or the supervised shard pool
+   (:mod:`repro.serve.shards`); ``cached-coarse`` answers from the
+   content-addressed cache at a coarser gridding level; ``parametric``
+   falls back to the Aref–Samet closed form.  A rung that *fails*
+   (shard crash, deadline expiry) descends to the next-cheaper rung
+   instead of failing the request;
+4. **provenance** — every response carries a
+   :class:`~repro.serve.degrade.ServeProvenance` naming the rung that
+   actually answered, so a degraded answer can never masquerade as a
+   full-quality one.
+
+Per-request deadlines thread end to end: the budget is checked at
+submission, shipped into executor threads as a cooperative
+:class:`~repro.runtime.Deadline` scope, and forwarded over the wire to
+shard workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.estimator import ParametricEstimator
+from ..datasets import SpatialDataset
+from ..errors import EstimatorUnavailable, ServiceOverloadError
+from ..perf.batch import BatchQuery, estimate_many
+from ..perf.cache import HistogramCache
+from ..runtime import Deadline, runtime_scope
+from .admission import AdmissionController
+from .batcher import BatchRunner, MicroBatcher
+from .degrade import DegradationLadder, DegradePolicy, ServeProvenance, ServiceRung
+from .shards import ShardPool
+
+__all__ = ["ServeRequest", "ServeResponse", "ServerConfig", "EstimationServer"]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One selectivity question addressed to the server's catalog.
+
+    Datasets are referenced **by name** — the server owns the catalog,
+    the way a database owns its tables.  ``timeout_s`` (falling back to
+    the server's default) becomes the request's end-to-end cooperative
+    deadline.
+    """
+
+    ds1: str
+    ds2: str
+    scheme: str = "gh"
+    level: int = 7
+    tenant: str = "default"
+    timeout_s: "float | None" = None
+
+    @property
+    def requested(self) -> str:
+        """Human-readable quality label, e.g. ``"gh(level=7)"``."""
+        return f"{self.scheme}(level={self.level})"
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """A served estimate plus the provenance of how it was produced."""
+
+    selectivity: float
+    provenance: ServeProvenance
+    latency_s: float  #: wall-clock time inside the server, admission included
+
+    @property
+    def degraded(self) -> bool:
+        """Convenience mirror of ``provenance.degraded``."""
+        return self.provenance.degraded
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`EstimationServer` instance."""
+
+    max_depth: int = 64  #: bounded admission queue capacity
+    tenant_rate: "float | None" = None  #: per-tenant tokens/s (None = no quotas)
+    tenant_burst: float = 20.0  #: per-tenant bucket burst
+    policy: DegradePolicy = field(default_factory=DegradePolicy)
+    max_batch: int = 16  #: micro-batcher size trigger
+    max_delay_s: float = 0.002  #: micro-batcher window
+    default_timeout_s: "float | None" = None  #: deadline when requests carry none
+    cache_bytes: int = 64 * 1024 * 1024  #: shared histogram cache budget
+
+
+class EstimationServer:
+    """Async front door over the estimation stack (single event loop).
+
+    Parameters
+    ----------
+    catalog:
+        The served datasets — a mapping or iterable of
+        :class:`SpatialDataset`; requests reference them by name.
+    config:
+        :class:`ServerConfig` tunables (defaults are test-friendly).
+    shard_pool:
+        An optional *started* :class:`~repro.serve.shards.ShardPool`.
+        When given, the ``full`` rung runs through the pool's persistent
+        workers (supervised, circuit-broken); otherwise it runs through
+        the in-process micro-batcher.  The server does **not** own the
+        pool's lifecycle — callers close what they open.
+    batch_runner:
+        Override for the micro-batcher's synchronous runner (chaos tests
+        inject failures here).  The default runs
+        :func:`~repro.perf.batch.estimate_many` against the server's
+        shared :class:`~repro.perf.cache.HistogramCache` under the
+        batch's tightest deadline.
+
+    Use as an async context manager, or call :meth:`aclose` when done.
+    """
+
+    def __init__(
+        self,
+        catalog: "Mapping[str, SpatialDataset] | Iterable[SpatialDataset]",
+        config: ServerConfig | None = None,
+        *,
+        shard_pool: ShardPool | None = None,
+        batch_runner: BatchRunner | None = None,
+    ) -> None:
+        self.catalog: "dict[str, SpatialDataset]" = (
+            dict(catalog) if isinstance(catalog, Mapping)
+            else {ds.name: ds for ds in catalog}
+        )
+        if not self.catalog:
+            raise ValueError("the server needs at least one dataset to serve")
+        self.config = config if config is not None else ServerConfig()
+        self.admission = AdmissionController(
+            self.config.max_depth,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+        )
+        self.ladder = DegradationLadder(self.config.policy)
+        self.cache = HistogramCache(self.config.cache_bytes)
+        self.shard_pool = shard_pool
+        self.batcher = MicroBatcher(
+            batch_runner if batch_runner is not None else self._default_runner,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+        )
+        self._parametric = ParametricEstimator()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "EstimationServer":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Flush the batcher and stop accepting work (idempotent).
+
+        The shard pool, if any, is *not* closed — it was injected, so
+        its owner closes it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self.batcher.aclose()
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: ServeRequest) -> ServeResponse:
+        """Serve one request through admission, the ladder, and descent.
+
+        Raises :class:`ServiceOverloadError` when admission rejects the
+        request or pressure selects the ``shed`` rung; any other failure
+        descends the ladder (full → cached-coarse → parametric) and only
+        propagates if even the closed-form floor cannot answer —
+        a degraded *honest* answer always beats a confident wrong one,
+        and an error always beats a silent zero.
+        """
+        if self._closed:
+            raise EstimatorUnavailable("EstimationServer is closed")
+        started = time.monotonic()
+        budget = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        deadline = Deadline(budget) if budget is not None else None
+        try:
+            ticket = self.admission.admit(request.tenant)
+        except ServiceOverloadError:
+            self.ladder.record(ServiceRung.SHED)
+            raise
+        pressure = self.admission.pressure
+        try:
+            ds1, ds2 = self._resolve(request)
+            rung = self.ladder.select(pressure)
+            if rung is ServiceRung.SHED:
+                self.ladder.record(rung)
+                raise ServiceOverloadError(
+                    f"shedding at pressure {pressure:.2f} "
+                    f"(depth {self.admission.depth}/{self.admission.max_depth})",
+                    reason="shed",
+                    queue_depth=self.admission.depth,
+                    tenant=request.tenant,
+                )
+            selected = rung
+            reason = ""
+            current: "ServiceRung | None" = rung
+            while current is not None:
+                try:
+                    value, via, shard_ids = await self._execute(
+                        current, request, ds1, ds2, deadline
+                    )
+                # Failure descent: any rung error — shard crash, breaker
+                # open, deadline expiry, poison build — drops us one rung
+                # rather than failing an admitted request outright.
+                except Exception as exc:  # repro-lint: disable=R005  # noqa: BLE001
+                    if not reason:
+                        reason = f"{type(exc).__name__}: {exc}"
+                    lower = DegradationLadder.next_below(current)
+                    if lower is None:
+                        raise  # even the closed-form floor failed
+                    current = lower
+                    continue
+                self.ladder.record(current)
+                provenance = ServeProvenance(
+                    rung=current.value,
+                    requested=request.requested,
+                    degraded=current is not ServiceRung.FULL or bool(reason),
+                    pressure=pressure,
+                    reason=reason if reason else (
+                        "" if selected is ServiceRung.FULL else
+                        f"pressure {pressure:.2f}"
+                    ),
+                    via=via,
+                    shard_ids=shard_ids,
+                )
+                return ServeResponse(
+                    selectivity=value,
+                    provenance=provenance,
+                    latency_s=time.monotonic() - started,
+                )
+            raise AssertionError("unreachable: descent exited without a rung")
+        finally:
+            self.admission.release(ticket)
+
+    # ------------------------------------------------------------------
+    async def _execute(
+        self,
+        rung: ServiceRung,
+        request: ServeRequest,
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        deadline: Deadline | None,
+    ) -> "tuple[float, str, tuple[int, ...]]":
+        """Run one rung; returns ``(selectivity, via, shard_ids)``."""
+        loop = asyncio.get_running_loop()
+        if rung is ServiceRung.FULL:
+            if self.shard_pool is not None:
+                pool = self.shard_pool
+                budget_s = (
+                    max(0.0, deadline.remaining) if deadline is not None else None
+                )
+                shard_ids = tuple(
+                    sorted({pool.shard_for(request.ds1), pool.shard_for(request.ds2)})
+                )
+                value = await loop.run_in_executor(
+                    None,
+                    lambda: pool.estimate(
+                        request.ds1,
+                        request.ds2,
+                        request.scheme,
+                        request.level,
+                        budget_s=budget_s,
+                    ),
+                )
+                return value, "shards", shard_ids
+            query = BatchQuery(ds1, ds2, request.scheme, request.level)
+            value = await self.batcher.submit(query, deadline)
+            return value, "batch", ()
+        if rung is ServiceRung.CACHED:
+            level = max(1, request.level - self.config.policy.coarsen_by)
+            value = await loop.run_in_executor(
+                None, lambda: self._cached_coarse(request, ds1, ds2, level, deadline)
+            )
+            return value, "local", ()
+        # PARAMETRIC: four first-order statistics and a closed form —
+        # microseconds, no deadline scope needed, cannot time out.
+        value = await loop.run_in_executor(
+            None, lambda: self._parametric.estimate(ds1, ds2)
+        )
+        return value, "local", ()
+
+    def _cached_coarse(
+        self,
+        request: ServeRequest,
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        level: int,
+        deadline: Deadline | None,
+    ) -> float:
+        """The ``cached-coarse`` rung body (runs on an executor thread).
+
+        Builds (or derives via 2×2 pooling from a cached finer GH) both
+        sides at a coarser level through the shared cache, then runs the
+        O(cells) combine — all inside a fresh cooperative deadline scope,
+        because runtime scopes do not cross thread boundaries.
+        """
+        if len(ds1) == 0 or len(ds2) == 0:
+            return 0.0
+        remaining = (
+            Deadline(max(0.0, deadline.remaining)) if deadline is not None else None
+        )
+        if ds1.extent != ds2.extent:
+            raise ValueError(
+                f"datasets {ds1.name!r} and {ds2.name!r} must share a common extent"
+            )
+        with runtime_scope(deadline=remaining):
+            hist1 = self.cache.get_or_build(ds1, request.scheme, level, extent=ds1.extent)
+            hist2 = self.cache.get_or_build(ds2, request.scheme, level, extent=ds1.extent)
+            return float(hist1.estimate_selectivity(hist2))
+
+    def _default_runner(
+        self, queries: Sequence[BatchQuery], budget_s: "float | None"
+    ) -> "list[float]":
+        """Default micro-batch runner: ``estimate_many`` + shared cache.
+
+        Runs on an executor thread, so it installs its own runtime scope
+        from the batch's tightest remaining budget.
+        """
+        deadline = Deadline(budget_s) if budget_s is not None else None
+        with runtime_scope(deadline=deadline):
+            return estimate_many(queries, cache=self.cache)
+
+    def _resolve(self, request: ServeRequest) -> "tuple[SpatialDataset, SpatialDataset]":
+        """Look both datasets up; unknown names fail the request itself
+        (a client error is not an overload and must not degrade)."""
+        try:
+            return self.catalog[request.ds1], self.catalog[request.ds2]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown dataset {exc.args[0]!r}; the catalog serves "
+                f"{sorted(self.catalog)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """One observability snapshot across every pipeline stage."""
+        payload: "dict[str, object]" = {
+            "admission": self.admission.stats.snapshot(),
+            "depth": self.admission.depth,
+            "pressure": self.admission.pressure,
+            "rungs": self.ladder.snapshot(),
+            "batcher": self.batcher.stats.snapshot(),
+            "cache": self.cache.stats.snapshot(),
+        }
+        if self.shard_pool is not None:
+            payload["shards"] = self.shard_pool.stats()
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimationServer(datasets={len(self.catalog)}, "
+            f"depth={self.admission.depth}/{self.admission.max_depth}, "
+            f"shards={self.shard_pool is not None})"
+        )

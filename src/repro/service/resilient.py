@@ -331,8 +331,7 @@ class ResilientEstimator(JoinSelectivityEstimator):
                         time.perf_counter() - started,
                     )
                 )
-                if attempt < self.retries:
-                    self._backoff(attempt, deadline)
+                if attempt < self.retries and self._backoff(attempt, deadline):
                     continue
                 return None
             except EstimatorUnavailable as exc:
@@ -365,15 +364,22 @@ class ResilientEstimator(JoinSelectivityEstimator):
                 return float(value)
         return None
 
-    def _backoff(self, attempt: int, deadline: Deadline | None) -> None:
-        """Sleep before a retry, capped by the remaining budget."""
+    def _backoff(self, attempt: int, deadline: Deadline | None) -> bool:
+        """Sleep before a retry; False when the retry is not worth making.
+
+        The exponential pause is clamped by the *remaining* deadline
+        budget: a pause that would consume it entirely is skipped — the
+        retry would start with nothing left and time out at its first
+        checkpoint, so sleeping through the budget only delays the
+        fallback rung.  Returns True when the caller should retry.
+        """
         if self.backoff_s <= 0:
-            return
+            return True
         pause = self.backoff_s * (2**attempt)
-        if deadline is not None:
-            pause = min(pause, max(0.0, deadline.remaining))
-        if pause > 0:
-            time.sleep(pause)
+        if deadline is not None and pause >= deadline.remaining:
+            return False  # sleeping would burn the whole budget
+        time.sleep(pause)
+        return True
 
     @staticmethod
     def _failure_reason(attempts: list[AttemptRecord], before_index: int) -> str:

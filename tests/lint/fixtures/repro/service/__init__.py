@@ -1,0 +1,1 @@
+"""Fixture package mirroring ``repro.service`` for rule tests."""

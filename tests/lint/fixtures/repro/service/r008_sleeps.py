@@ -1,0 +1,35 @@
+"""Fixture: blocking sleeps — R008 at lines 9, 13, 19, 25."""
+
+import asyncio
+import time
+from time import sleep, sleep as snooze
+
+
+def retry_pause() -> None:
+    time.sleep(0.1)
+
+
+def aliased_pause() -> None:
+    sleep(0.1)
+
+
+def renamed_pause() -> None:
+    nested = 1
+    if nested:
+        snooze(0.1)
+
+
+async def frozen_loop() -> None:
+    # Blocking inside a coroutine: stalls every other request.
+    await asyncio.sleep(0)
+    time.sleep(0.1)
+
+
+async def cooperative() -> None:
+    # The sanctioned way to pause in async code.
+    await asyncio.sleep(0.1)
+
+
+def no_pause() -> float:
+    # Dotted names ending in .sleep on other roots are not time.sleep.
+    return time.perf_counter()

@@ -1,0 +1,14 @@
+"""Fixture: the sanctioned backoff site — R008 at line 14 only."""
+
+import time
+
+
+def _backoff(attempt: int) -> None:
+    # Sanctioned: (repro.service.resilient, _backoff) is the one place
+    # library code may block between retries.
+    time.sleep(0.01 * (2**attempt))
+
+
+def helper_pause() -> None:
+    # Same module, different function: not sanctioned.
+    time.sleep(0.1)

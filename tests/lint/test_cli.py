@@ -58,7 +58,9 @@ class TestTextOutput:
     def test_list_rules(self, capsys):
         code, out, _ = run_cli(capsys, "--list-rules")
         assert code == 0
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        for rule_id in (
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        ):
             assert rule_id in out
 
 

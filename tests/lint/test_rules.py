@@ -163,6 +163,28 @@ class TestSuppressions:
         assert rules_hit(mod, select=["R005"]) == [("R005", 8)]
 
 
+class TestR008BlockingSleep:
+    def test_flags_direct_aliased_and_async_sleeps(self):
+        hits = rules_hit(PKG / "service" / "r008_sleeps.py")
+        assert hits == [("R008", 9), ("R008", 13), ("R008", 19), ("R008", 25)]
+
+    def test_async_violation_points_at_asyncio_sleep(self):
+        diags = lint_file(PKG / "service" / "r008_sleeps.py")
+        async_hits = [d for d in diags if d.line == 25]
+        assert len(async_hits) == 1
+        assert "asyncio.sleep" in async_hits[0].message
+        assert "event loop" in async_hits[0].message
+
+    def test_sanctioned_backoff_site_is_exempt(self):
+        hits = rules_hit(PKG / "service" / "resilient.py")
+        assert hits == [("R008", 14)]  # helper_pause only; _backoff is clean
+
+    def test_live_resilient_and_faults_modules_are_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+        assert rules_hit(src / "resilient.py", select=["R008"]) == []
+        assert rules_hit(src / "faults.py", select=["R008"]) == []
+
+
 class TestCleanFixtureAndParseErrors:
     def test_clean_fixture_produces_no_diagnostics(self):
         assert rules_hit(PKG / "histograms" / "clean.py") == []
@@ -178,9 +200,9 @@ class TestCleanFixtureAndParseErrors:
 
 
 class TestRegistry:
-    def test_all_seven_domain_rules_registered(self):
+    def test_all_eight_domain_rules_registered(self):
         assert sorted(RULES) == [
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         ]
 
     def test_rule_metadata_complete(self):

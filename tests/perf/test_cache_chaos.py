@@ -1,0 +1,129 @@
+"""Chaos tests for the caching layer: no partial artifacts, ever.
+
+The invariant (ISSUE 6, satellite): when a fault fires in the middle of
+a cached workload — an exception mid-``estimate_many``, a latency
+injection, a silent cell corruption — neither :class:`HistogramCache`
+nor :class:`FlatTreeCache` may retain anything built under the fault
+hook.  A cache that keeps a corrupt histogram converts one transient
+fault into an *unbounded* stream of wrong answers (content-addressed
+hits never expire on their own), which is strictly worse than the fault
+itself.
+"""
+
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.perf import FlatTreeCache, HistogramCache, estimate_many
+from repro.perf.batch import BatchQuery
+from repro.sampling import SamplingJoinEstimator
+from repro.service import FaultPlan, FaultSpec, inject_faults
+from tests.conftest import random_rects
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def pair(rng):
+    a = SpatialDataset("a", random_rects(rng, 200))
+    b = SpatialDataset("b", random_rects(rng, 250))
+    return a, b
+
+
+def queries(pair):
+    a, b = pair
+    return [
+        BatchQuery(a, b, "gh", 5),
+        BatchQuery(a, b, "gh", 4),
+        BatchQuery(a, b, "ph", 4),
+    ]
+
+
+class TestHistogramCacheUnderFaults:
+    def test_exception_mid_batch_leaves_no_partial_artifacts(self, pair):
+        """The fault fires after some builds already succeeded; none of
+        them — completed or not — may have been retained."""
+        cache = HistogramCache()
+        plan = FaultPlan([FaultSpec("ph.build", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                estimate_many(queries(pair), cache=cache)
+        assert plan.activations  # the fault really fired
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_corruption_never_reaches_the_cache(self, pair):
+        """A ``corrupt`` fault does not raise — the batch completes with
+        wrong numbers — but the poisoned builds must not be retained."""
+        cache = HistogramCache()
+        plan = FaultPlan(
+            [FaultSpec("gh.build.cells", kind="corrupt", times=99)]
+        )
+        with inject_faults(plan):
+            estimate_many(queries(pair), cache=cache)
+        assert plan.activations
+        assert len(cache) == 0
+
+    def test_clean_rerun_after_fault_is_correct_and_cached(self, pair):
+        """Recovery: once the fault clears, the same workload produces
+        the fault-free answers and the cache populates normally."""
+        baseline = estimate_many(queries(pair))
+        cache = HistogramCache()
+        plan = FaultPlan([FaultSpec("gh.build.corners", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                estimate_many(queries(pair), cache=cache)
+        results = estimate_many(queries(pair), cache=cache)
+        assert results == baseline
+        assert len(cache) > 0
+        assert cache.stats.builds > 0
+
+    def test_latency_fault_also_blocks_retention(self, pair):
+        """Even a fault that only delays (never corrupts) blocks
+        retention: the cache cannot distinguish benign hooks from
+        corrupting ones, so it refuses anything built under a hook."""
+        cache = HistogramCache()
+        plan = FaultPlan([FaultSpec("gh.build", kind="latency", seconds=0.0)])
+        with inject_faults(plan):
+            estimate_many(queries(pair), cache=cache)
+        assert len(cache) == 0
+
+
+class TestFlatTreeCacheUnderFaults:
+    def test_fault_mid_sampling_leaves_tree_cache_empty(self, pair):
+        """A fault between the build and join stages of a sampling
+        estimate must not leave the just-built trees in the cache."""
+        tree_cache = FlatTreeCache()
+        est = SamplingJoinEstimator(
+            "rswr", 0.5, 0.5, seed=7, tree_cache=tree_cache
+        )
+        plan = FaultPlan([FaultSpec("sampling.join", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                est.estimate(*pair)
+        assert plan.activations
+        assert len(tree_cache) == 0
+        assert tree_cache.current_bytes == 0
+
+    def test_clean_rerun_populates_and_matches(self, pair):
+        tree_cache = FlatTreeCache()
+        est = SamplingJoinEstimator(
+            "rswr", 0.5, 0.5, seed=7, tree_cache=tree_cache
+        )
+        baseline = SamplingJoinEstimator("rswr", 0.5, 0.5, seed=7).estimate(*pair)
+        plan = FaultPlan([FaultSpec("sampling.build", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                est.estimate(*pair)
+        assert len(tree_cache) == 0
+        assert est.estimate(*pair) == baseline  # same seed, same answer
+        assert len(tree_cache) > 0
+
+    def test_cache_reuse_after_recovery_is_hit_backed(self, pair):
+        tree_cache = FlatTreeCache()
+        est = SamplingJoinEstimator(
+            "rswr", 0.5, 0.5, seed=7, tree_cache=tree_cache
+        )
+        est.estimate(*pair)
+        hits_before = tree_cache.stats.hits
+        est.estimate(*pair)
+        assert tree_cache.stats.hits > hits_before

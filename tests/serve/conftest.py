@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving front-door tests.
+
+A small deterministic catalog keeps every test fast; anything that
+needs scale builds its own datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.geometry import Rect
+from tests.conftest import random_rects
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    """Three small datasets on the unit extent (module-scoped: read-only)."""
+    rng = np.random.default_rng(20260808)
+    return {
+        name: SpatialDataset(name, random_rects(rng, 300), Rect.unit())
+        for name in ("roads", "rivers", "parks")
+    }
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

@@ -1,0 +1,123 @@
+"""Admission control: bounded queue, tenant quotas, typed rejections."""
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.serve import AdmissionController, TokenBucket
+from tests.serve.conftest import FakeClock
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire(), bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == 3.0
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1, 1), (1, 0), (1, 0.5)])
+    def test_bad_parameters_rejected(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate, burst)
+
+
+class TestBoundedQueue:
+    def test_over_capacity_rejects_immediately(self):
+        ctl = AdmissionController(max_depth=2)
+        ctl.admit(), ctl.admit()
+        with pytest.raises(ServiceOverloadError) as exc_info:
+            ctl.admit()
+        assert exc_info.value.reason == "queue-full"
+        assert exc_info.value.queue_depth == 2
+        assert ctl.stats.rejected_queue == 1
+
+    def test_release_frees_the_slot(self):
+        ctl = AdmissionController(max_depth=1)
+        ticket = ctl.admit()
+        ctl.release(ticket)
+        ctl.admit()  # does not raise
+        assert ctl.depth == 1
+
+    def test_release_is_idempotent(self):
+        ctl = AdmissionController(max_depth=4)
+        ticket = ctl.admit()
+        ctl.release(ticket)
+        ctl.release(ticket)
+        assert ctl.depth == 0
+        assert ctl.stats.released == 1
+
+    def test_pressure_tracks_occupancy(self):
+        ctl = AdmissionController(max_depth=4)
+        assert ctl.pressure == 0.0
+        tickets = [ctl.admit() for _ in range(3)]
+        assert ctl.pressure == pytest.approx(0.75)
+        assert ctl.stats.high_water == 3
+        for t in tickets:
+            ctl.release(t)
+        assert ctl.pressure == 0.0
+        assert ctl.stats.high_water == 3  # high water is monotone
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=0)
+
+
+class TestTenantQuotas:
+    def test_quota_rejection_before_queue(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_depth=100, tenant_rate=1.0, tenant_burst=2.0, clock=clock
+        )
+        ctl.admit("noisy"), ctl.admit("noisy")
+        with pytest.raises(ServiceOverloadError) as exc_info:
+            ctl.admit("noisy")
+        assert exc_info.value.reason == "quota"
+        assert exc_info.value.tenant == "noisy"
+        assert ctl.stats.rejected_quota == 1
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_depth=100, tenant_rate=1.0, tenant_burst=1.0, clock=clock
+        )
+        ctl.admit("noisy")
+        with pytest.raises(ServiceOverloadError):
+            ctl.admit("noisy")
+        ctl.admit("quiet")  # a different tenant still gets in
+
+    def test_quota_recovers_with_time(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_depth=100, tenant_rate=10.0, tenant_burst=1.0, clock=clock
+        )
+        ctl.admit("t")
+        with pytest.raises(ServiceOverloadError):
+            ctl.admit("t")
+        clock.advance(0.11)  # one token refilled (with float headroom)
+        ctl.admit("t")
+
+    def test_no_quota_means_no_buckets(self):
+        ctl = AdmissionController(max_depth=4)
+        assert ctl.bucket_for("anyone") is None
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(max_depth=4)
+        ctl.release(ctl.admit())
+        snap = ctl.stats.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["released"] == 1
+        assert snap["rejected"] == 0

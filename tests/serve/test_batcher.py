@@ -1,0 +1,174 @@
+"""Micro-batcher: coalescing, ordering, poison isolation, deadlines.
+
+No ``pytest-asyncio`` in the environment, so each test drives its own
+event loop with ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import EstimationTimeout, EstimatorUnavailable
+from repro.perf.batch import BatchQuery
+from repro.runtime import Deadline
+from repro.serve import MicroBatcher
+
+
+def _query(catalog, a="roads", b="rivers", level=5):
+    return BatchQuery(catalog[a], catalog[b], "gh", level)
+
+
+class RecordingRunner:
+    """A synchronous runner that logs every batch it executes."""
+
+    def __init__(self, fail_levels=()):
+        self.batches = []
+        self.fail_levels = set(fail_levels)
+
+    def __call__(self, queries, deadline_s):
+        self.batches.append((tuple(q.level for q in queries), deadline_s))
+        for q in queries:
+            if q.level in self.fail_levels:
+                raise ValueError(f"poison level {q.level}")
+        return [float(q.level) for q in queries]
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_one_batch(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            results = await asyncio.gather(
+                *[batcher.submit(_query(catalog, level=i)) for i in range(5)]
+            )
+            await batcher.aclose()
+            return results
+
+        results = asyncio.run(go())
+        assert results == [0.0, 1.0, 2.0, 3.0, 4.0]  # order preserved
+        assert len(runner.batches) == 1
+        assert batcher.stats.coalesced == 4
+
+    def test_size_trigger_flushes_without_waiting(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=2, max_delay_s=60.0)
+
+        async def go():
+            results = await asyncio.gather(
+                batcher.submit(_query(catalog, level=1)),
+                batcher.submit(_query(catalog, level=2)),
+            )
+            await batcher.aclose()
+            return results
+
+        assert asyncio.run(go()) == [1.0, 2.0]  # a 60s window would hang
+        assert len(runner.batches) == 1
+
+    def test_sequential_submissions_each_complete(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=4, max_delay_s=0.001)
+
+        async def go():
+            first = await batcher.submit(_query(catalog, level=1))
+            second = await batcher.submit(_query(catalog, level=2))
+            await batcher.aclose()
+            return first, second
+
+        assert asyncio.run(go()) == (1.0, 2.0)
+        assert batcher.stats.queries == 2
+
+
+class TestPoisonIsolation:
+    def test_poison_query_fails_only_itself(self, catalog):
+        runner = RecordingRunner(fail_levels={3})
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            results = await asyncio.gather(
+                *[batcher.submit(_query(catalog, level=i)) for i in (1, 2, 3, 4)],
+                return_exceptions=True,
+            )
+            await batcher.aclose()
+            return results
+
+        results = asyncio.run(go())
+        assert results[0] == 1.0 and results[1] == 2.0 and results[3] == 4.0
+        assert isinstance(results[2], ValueError)
+        assert batcher.stats.batch_failures == 1
+        assert batcher.stats.solo_retries == 4  # every member re-ran alone
+
+    def test_clean_batch_has_no_retries(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            await asyncio.gather(
+                *[batcher.submit(_query(catalog, level=i)) for i in (1, 2)]
+            )
+            await batcher.aclose()
+
+        asyncio.run(go())
+        assert batcher.stats.batch_failures == 0
+        assert batcher.stats.solo_retries == 0
+
+
+class TestDeadlines:
+    def test_expired_deadline_fast_fails_before_the_runner(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            with pytest.raises(EstimationTimeout):
+                await batcher.submit(_query(catalog), Deadline(0.0))
+            await batcher.aclose()
+
+        asyncio.run(go())
+        assert runner.batches == []  # never reached the runner
+        assert batcher.stats.expired_before_run == 1
+
+    def test_batch_runs_under_tightest_member_budget(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            await asyncio.gather(
+                batcher.submit(_query(catalog, level=1), Deadline(30.0)),
+                batcher.submit(_query(catalog, level=2), Deadline(5.0)),
+                batcher.submit(_query(catalog, level=3)),  # unbudgeted
+            )
+            await batcher.aclose()
+
+        asyncio.run(go())
+        (_, deadline_s), = runner.batches
+        assert deadline_s is not None and deadline_s <= 5.0
+
+    def test_unbudgeted_batch_passes_none(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.001)
+
+        async def go():
+            await batcher.submit(_query(catalog))
+            await batcher.aclose()
+
+        asyncio.run(go())
+        assert runner.batches[0][1] is None
+
+
+class TestLifecycle:
+    def test_closed_batcher_rejects_submissions(self, catalog):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner)
+
+        async def go():
+            await batcher.aclose()
+            with pytest.raises(EstimatorUnavailable):
+                await batcher.submit(_query(catalog))
+
+        asyncio.run(go())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(RecordingRunner(), max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(RecordingRunner(), max_delay_s=-1.0)

@@ -1,0 +1,235 @@
+"""Shard pool supervision: placement, health, restarts, breakers."""
+
+import time
+
+import pytest
+
+from repro.errors import EstimatorUnavailable, ShardUnavailableError
+from repro.histograms import GHHistogram
+from repro.serve import CircuitBreaker, ShardPool
+from tests.serve.conftest import FakeClock
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_trial_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # the one half-open trial
+        assert not breaker.allow()  # no second trial while it is in flight
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_cooldown_escalates_and_is_bounded(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, max_cooldown_s=3.0, clock=clock
+        )
+        breaker.record_failure()  # open #1: cooldown 1s
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # open #2: cooldown 2s
+        clock.advance(1.0)
+        assert not breaker.allow()  # 1s is no longer enough
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # open #3: cooldown 4s -> capped at 3s
+        clock.advance(3.0)
+        assert breaker.allow()
+        assert breaker.opens_total == 3
+
+    def test_success_resets_failure_count_and_escalation(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # the count restarted
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=1.0, max_cooldown_s=0.5)
+
+
+@pytest.fixture(scope="module")
+def pool(catalog):
+    with ShardPool(catalog, 2, cooldown_s=0.01, call_timeout_s=30.0) as p:
+        yield p
+
+
+class TestPlacementAndHealth:
+    def test_placement_is_deterministic_round_robin(self, pool, catalog):
+        # sorted names: parks, rivers, roads -> shards 0, 1, 0
+        assert pool.shard_for("parks") == 0
+        assert pool.shard_for("rivers") == 1
+        assert pool.shard_for("roads") == 0
+
+    def test_unknown_dataset_rejected(self, pool):
+        with pytest.raises(KeyError):
+            pool.shard_for("oceans")
+
+    def test_ping_round_trips_every_shard(self, pool):
+        assert pool.ping(0)
+        assert pool.ping(1)
+
+    def test_stats_shape(self, pool):
+        snap = pool.stats()
+        assert snap["num_shards"] == 2
+        assert len(snap["shards"]) == 2
+        assert all("breaker" in s for s in snap["shards"])
+
+
+class TestEstimation:
+    def test_matches_local_build_exactly(self, pool, catalog):
+        ds1, ds2 = catalog["roads"], catalog["rivers"]
+        expected = GHHistogram.build(ds1, 5).estimate_selectivity(
+            GHHistogram.build(ds2, 5)
+        )
+        assert pool.estimate("roads", "rivers", "gh", 5) == pytest.approx(
+            expected, rel=0, abs=0
+        )
+
+    def test_cross_shard_pair_consults_both_owners(self, pool):
+        before = pool.stats()
+        pool.estimate("roads", "rivers", "gh", 4)  # shards 0 and 1
+        after = pool.stats()
+        for shard_id in (0, 1):
+            assert (
+                after["shards"][shard_id]["calls"]
+                > before["shards"][shard_id]["calls"]
+            )
+
+    def test_logical_error_reported_without_tripping_the_breaker(self, pool):
+        with pytest.raises(EstimatorUnavailable, match="KeyError"):
+            pool.prepare("roads", scheme="nope")
+        assert pool.ping(0)  # the worker survived
+        assert pool.stats()["shards"][0]["breaker"]["state"] == "closed"
+
+    def test_deadline_expires_inside_the_worker(self, pool):
+        with pytest.raises(EstimatorUnavailable, match="EstimationTimeout"):
+            pool.prepare("roads", budget_s=0.0)
+        assert pool.ping(0)
+
+
+class TestSupervision:
+    def test_killed_worker_restarts_transparently(self, catalog):
+        with ShardPool(catalog, 2, cooldown_s=0.005) as pool:
+            first = pool.estimate("roads", "rivers", "gh", 4)
+            assert pool.chaos_kill(0)
+            # The next call finds the corpse, restarts, and answers the
+            # same value from the re-attached shared-memory catalog.
+            assert pool.estimate("roads", "rivers", "gh", 4) == first
+            assert pool.stats()["restarts"] == 1
+
+    def test_restart_budget_exhaustion_fails_the_shard(self, catalog):
+        def always_crash():
+            import os
+
+            class Hook:
+                def on_checkpoint(self, stage):
+                    os._exit(17)  # simulate a hard worker crash mid-build
+
+                def on_mutate(self, stage, value):
+                    return value
+
+            return Hook()
+
+        with ShardPool(
+            catalog,
+            1,
+            max_restarts=2,
+            failure_threshold=50,  # keep the breaker out of this test
+            cooldown_s=0.001,
+            worker_hook_factory=always_crash,
+        ) as pool:
+            for _ in range(3):  # initial worker + 2 restarts, all crash
+                with pytest.raises(ShardUnavailableError) as exc_info:
+                    pool.prepare("roads", level=3)
+                assert exc_info.value.state == "dead"
+            with pytest.raises(ShardUnavailableError) as exc_info:
+                pool.prepare("roads", level=3)
+            assert exc_info.value.state == "failed"
+            assert not pool.ping(0)
+            snap = pool.stats()
+            assert snap["restarts"] == 2
+            assert snap["shards"][0]["failed"]
+
+    def test_breaker_opens_under_crash_loop_then_recovers(self, catalog):
+        from multiprocessing import Value
+
+        crashes = Value("i", 0)
+
+        def crash_twice_then_heal():
+            import os
+
+            class Hook:
+                def on_checkpoint(self, stage):
+                    # No get_lock(): dying while holding the shared lock
+                    # would deadlock the replacement worker.  Only one
+                    # worker exists at a time, so the bare read is safe.
+                    if crashes.value < 2:
+                        crashes.value += 1
+                        os._exit(17)
+
+                def on_mutate(self, stage, value):
+                    return value
+
+            return Hook()
+
+        with ShardPool(
+            catalog,
+            1,
+            max_restarts=10,
+            failure_threshold=1,  # open on the first crash
+            cooldown_s=0.02,
+            worker_hook_factory=crash_twice_then_heal,
+        ) as pool:
+            with pytest.raises(ShardUnavailableError) as exc_info:
+                pool.prepare("roads", level=3)
+            assert exc_info.value.state == "dead"
+            # Breaker is open: fail fast, no restart attempted.
+            with pytest.raises(ShardUnavailableError) as exc_info:
+                pool.prepare("roads", level=3)
+            assert exc_info.value.state == "open"
+            time.sleep(0.03)  # past the cooldown: half-open trial
+            with pytest.raises(ShardUnavailableError):
+                pool.prepare("roads", level=3)  # second crash, reopens
+            time.sleep(0.05)  # past the doubled cooldown
+            hist = pool.prepare("roads", level=3)  # healed worker answers
+            assert hist.count == len(catalog["roads"])
+            snap = pool.stats()
+            assert snap["breaker_opens"] >= 2
+            assert snap["shards"][0]["breaker"]["state"] == "closed"
+
+
+class TestLifecycle:
+    def test_closed_pool_rejects_calls(self, catalog):
+        pool = ShardPool(catalog, 1)
+        pool.start()
+        pool.close()
+        with pytest.raises(EstimatorUnavailable):
+            pool.prepare("roads")
+        pool.close()  # idempotent
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPool({}, 1)
+
+    def test_shard_count_clamped_to_catalog_size(self, catalog):
+        pool = ShardPool(catalog, 16)
+        assert pool.num_shards == 3

@@ -245,6 +245,35 @@ class TestDeadline:
         result = est.estimate_detailed(*pair)
         assert result.provenance.rung_index == 0
 
+    def test_backoff_pause_clamped_to_deadline_budget(self, pair):
+        """Regression: a retry backoff longer than the remaining deadline
+        used to sleep through the whole budget before discovering the
+        timeout.  The pause must be skipped (and the retry abandoned)
+        when it cannot fit, so fallback happens while budget remains."""
+        import time
+
+        est = ResilientEstimator(
+            GHEstimator(level=4), retries=3, backoff_s=5.0, deadline_s=0.3
+        )
+        plan = FaultPlan([FaultSpec("gh.build.corners", times=99)])
+        started = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            with inject_faults(plan):
+                result = est.estimate_detailed(*pair)
+        elapsed = time.perf_counter() - started
+        # Without the clamp this takes >= 5s (the first pause alone).
+        assert elapsed < 2.0
+        assert_sane(result)
+
+    def test_backoff_still_pauses_when_budget_allows(self, pair):
+        est = ResilientEstimator(GHEstimator(level=4), retries=1, backoff_s=0.01)
+        plan = FaultPlan([FaultSpec("gh.build.corners", times=1)])
+        with inject_faults(plan):
+            result = est.estimate_detailed(*pair)
+        # The retry (after a fitting pause) still happens and answers.
+        assert [a.outcome for a in result.provenance.attempts] == ["error", "ok"]
+
 
 class TestValidationIntegration:
     def test_repaired_inputs_are_estimated_and_flagged(self, rng):

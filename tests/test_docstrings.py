@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.service",
     "repro.perf",
+    "repro.serve",
 ]
 
 

@@ -31,6 +31,7 @@ class TestExports:
             "repro.service",
             "repro.perf",
             "repro.parallel",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):
