@@ -133,6 +133,10 @@ class AdmissionController:
         given burst; an empty bucket rejects with ``reason="quota"``
         *before* the shared queue is consulted, so one noisy tenant
         cannot monopolize admission.
+    max_tenants:
+        Cap on live tenant buckets (LRU-evicted; idle full buckets are
+        preferred victims because recreating them is free) — distinct
+        tenant *strings* must not become an unbounded-memory path.
     clock:
         Monotonic clock injected into every tenant bucket (tests pass a
         fake; production uses ``time.monotonic``).
@@ -147,13 +151,17 @@ class AdmissionController:
         *,
         tenant_rate: float | None = None,
         tenant_burst: float = 20.0,
+        max_tenants: int = 1024,
         clock: Clock = time.monotonic,
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
         self.max_depth = int(max_depth)
         self.tenant_rate = tenant_rate
         self.tenant_burst = tenant_burst
+        self.max_tenants = int(max_tenants)
         self.stats = AdmissionStats()
         self._clock = clock
         self._depth = 0
@@ -167,18 +175,51 @@ class AdmissionController:
 
     @property
     def pressure(self) -> float:
-        """Queue occupancy in ``[0, 1]`` — the degradation ladder's input."""
+        """Queue occupancy in ``[0, 1]`` (raw, for observability)."""
         return self._depth / self.max_depth
 
+    @property
+    def pressure_ahead(self) -> float:
+        """Occupancy excluding one slot — the degradation ladder's input.
+
+        A just-admitted request must measure the pressure from its
+        *peers*, not from its own slot: counting itself would make the
+        top ``(1 - shed_at)`` fraction of slots permanently unable to
+        answer (with ``max_depth=1`` every admitted request would see
+        pressure 1.0 and always shed).
+        """
+        return max(0, self._depth - 1) / self.max_depth
+
     def bucket_for(self, tenant: str) -> TokenBucket | None:
-        """The tenant's quota bucket (None when quotas are disabled)."""
+        """The tenant's quota bucket (None when quotas are disabled).
+
+        The bucket table itself obeys the never-unbounded rule: at most
+        ``max_tenants`` buckets live at once, maintained LRU (an access
+        moves the tenant to the back of the eviction order).
+        """
         if self.tenant_rate is None:
             return None
-        bucket = self._buckets.get(tenant)
+        bucket = self._buckets.pop(tenant, None)
         if bucket is None:
+            if len(self._buckets) >= self.max_tenants:
+                self._evict_bucket()
             bucket = TokenBucket(self.tenant_rate, self.tenant_burst, clock=self._clock)
-            self._buckets[tenant] = bucket
+        self._buckets[tenant] = bucket  # (re)insert at the LRU tail
         return bucket
+
+    def _evict_bucket(self) -> None:
+        """Drop one bucket to stay within ``max_tenants``.
+
+        Prefer an *idle* (refilled-to-burst) bucket — lazily recreating
+        one later is behaviourally identical.  Only when every tenant is
+        actively draining does the least-recently-used bucket go,
+        trading that tenant a fresh burst for bounded memory.
+        """
+        for name, bucket in self._buckets.items():
+            if bucket.available >= bucket.burst:
+                del self._buckets[name]
+                return
+        del self._buckets[next(iter(self._buckets))]
 
     # ------------------------------------------------------------------
     def admit(self, tenant: str = "default") -> AdmissionTicket:

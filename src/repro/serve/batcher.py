@@ -194,6 +194,14 @@ class MicroBatcher:
             self.stats.batch_failures += 1
             await self._retry_solo(batch)
         else:
+            if len(results) != len(batch):
+                # A (pluggable, possibly chaos-injected) runner that
+                # returns the wrong cardinality must not leave anyone's
+                # future unresolved forever — treat it as a batch
+                # failure and re-attribute per member.
+                self.stats.batch_failures += 1
+                await self._retry_solo(batch)
+                return
             for pending, value in zip(batch, results):
                 if not pending.future.done():
                     pending.future.set_result(value)
@@ -217,8 +225,17 @@ class MicroBatcher:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             else:
-                if not pending.future.done():
+                if pending.future.done():
+                    continue
+                if len(results) == 1:
                     pending.future.set_result(results[0])
+                else:
+                    pending.future.set_exception(
+                        EstimatorUnavailable(
+                            f"batch runner returned {len(results)} results "
+                            "for a single query"
+                        )
+                    )
 
     def __repr__(self) -> str:
         return (

@@ -201,7 +201,9 @@ class EstimationServer:
         except ServiceOverloadError:
             self.ladder.record(ServiceRung.SHED)
             raise
-        pressure = self.admission.pressure
+        # Pressure excludes this request's own freshly-taken slot, so a
+        # lone request on an idle server always sees 0.0 (never sheds).
+        pressure = self.admission.pressure_ahead
         try:
             ds1, ds2 = self._resolve(request)
             rung = self.ladder.select(pressure)

@@ -35,10 +35,19 @@ Supervision (the robustness story):
   a half-open trial call closes it again on success.  While open, calls
   fail fast with :class:`~repro.errors.ShardUnavailableError` so the
   front door degrades instead of piling onto a sick worker.
+
+Concurrency contract: the pool is **thread-safe**.  Each shard owns a
+lock held across the entire supervised round-trip (breaker gate, lazy
+restart, send, wait, classify), so concurrent callers — the server
+dispatches ``pool.estimate`` from executor threads — can never
+interleave messages on one pipe or receive another thread's reply;
+breaker, stats, and restart state mutate only under that lock.  Calls
+to *different* shards proceed in parallel.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
@@ -228,7 +237,9 @@ class ShardStats:
 class _Shard:
     """Parent-side supervisor state for one worker (internal)."""
 
-    __slots__ = ("shard_id", "metas", "process", "conn", "breaker", "stats", "failed")
+    __slots__ = (
+        "shard_id", "metas", "process", "conn", "breaker", "stats", "failed", "lock"
+    )
 
     def __init__(
         self, shard_id: int, metas: "list[DatasetMeta]", breaker: CircuitBreaker
@@ -240,6 +251,8 @@ class _Shard:
         self.breaker = breaker
         self.stats = ShardStats()
         self.failed = False  #: permanently out of restart budget
+        #: Serializes the whole round-trip: one pipe, one caller at a time.
+        self.lock = threading.Lock()
 
 
 class ShardPool:
@@ -352,8 +365,9 @@ class ShardPool:
             return
         self._closed = True
         for shard in self._shards:
-            process, conn = shard.process, shard.conn
-            shard.process, shard.conn = None, None
+            with shard.lock:  # let any in-flight round-trip finish first
+                process, conn = shard.process, shard.conn
+                shard.process, shard.conn = None, None
             if conn is not None:
                 try:
                     conn.send(("shutdown",))
@@ -393,16 +407,17 @@ class ShardPool:
         raises and never restarts — observation only.
         """
         shard = self._shards[shard_id]
-        if shard.failed or shard.process is None or not shard.process.is_alive():
-            return False
-        try:
-            shard.conn.send(("ping",))
-            if not shard.conn.poll(self.call_timeout_s):
+        with shard.lock:
+            if shard.failed or shard.process is None or not shard.process.is_alive():
                 return False
-            reply = shard.conn.recv()
-        except (BrokenPipeError, EOFError, OSError):
-            return False
-        return bool(reply and reply[0] == "pong")
+            try:
+                shard.conn.send(("ping",))
+                if not shard.conn.poll(self.call_timeout_s):
+                    return False
+                reply = shard.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                return False
+            return bool(reply and reply[0] == "pong")
 
     def prepare(
         self,
@@ -442,13 +457,24 @@ class ShardPool:
         one worker when co-located); the O(cells) combine runs here.
         Empty sides answer ``0.0`` with no worker calls, matching
         :class:`~repro.core.estimator.PreparedEstimator` semantics.
+
+        ``budget_s`` covers the *whole* estimate: the second ``prepare``
+        ships only what the first left over, so a request with ``t``
+        seconds remaining can never consume ~``2t`` of worker time.
         """
         ds1, ds2 = self._datasets[name1], self._datasets[name2]
         if len(ds1) == 0 or len(ds2) == 0:
             return 0.0
         extent = _shared_extent(ds1, ds2)
-        hist1 = self.prepare(name1, scheme, level, extent=extent, budget_s=budget_s)
-        hist2 = self.prepare(name2, scheme, level, extent=extent, budget_s=budget_s)
+        deadline = Deadline(budget_s) if budget_s is not None else None
+
+        def remaining() -> "float | None":
+            if deadline is None:
+                return None
+            return max(0.0, deadline.remaining)
+
+        hist1 = self.prepare(name1, scheme, level, extent=extent, budget_s=remaining())
+        hist2 = self.prepare(name2, scheme, level, extent=extent, budget_s=remaining())
         return float(hist1.estimate_selectivity(hist2))
 
     def stats(self) -> dict[str, object]:
@@ -473,12 +499,19 @@ class ShardPool:
 
     def chaos_kill(self, shard_id: int) -> bool:
         """Chaos helper: SIGKILL one worker (crash injection for tests
-        and the fault-regime benchmark).  True if a live worker was hit."""
+        and the fault-regime benchmark).  True if a live worker was hit.
+
+        Deliberately does *not* take the shard lock: chaos must be able
+        to strike mid-call, and ``kill`` is a plain signal that never
+        touches the pipe (the victim's supervisor sees a pipe/timeout
+        failure and handles it under its own lock).
+        """
         shard = self._shards[shard_id]
-        if shard.process is None or not shard.process.is_alive():
+        process = shard.process
+        if process is None or not process.is_alive():
             return False
-        shard.process.kill()
-        shard.process.join(timeout=5.0)
+        process.kill()
+        process.join(timeout=5.0)
         return True
 
     # ------------------------------------------------------------------
@@ -531,9 +564,18 @@ class ShardPool:
 
     def _call(self, shard: _Shard, message: tuple) -> Any:
         """One supervised round-trip: breaker gate, lazy restart, send,
-        bounded wait, classify the reply."""
+        bounded wait, classify the reply.
+
+        Runs entirely under the shard's lock — the pipe carries no
+        request ids, so correctness requires that one caller's
+        send/poll/recv never interleaves with another's.
+        """
         if self._closed or not self._started:
             raise EstimatorUnavailable("shard pool is not running")
+        with shard.lock:
+            return self._call_locked(shard, message)
+
+    def _call_locked(self, shard: _Shard, message: tuple) -> Any:
         if shard.failed:
             raise ShardUnavailableError(
                 f"shard {shard.shard_id} is permanently failed",

@@ -71,6 +71,23 @@ class TestBoundedQueue:
         assert ctl.pressure == 0.0
         assert ctl.stats.high_water == 3  # high water is monotone
 
+    def test_pressure_ahead_excludes_own_slot(self):
+        ctl = AdmissionController(max_depth=4)
+        tickets = [ctl.admit() for _ in range(3)]
+        assert ctl.pressure == pytest.approx(0.75)
+        assert ctl.pressure_ahead == pytest.approx(0.5)  # two peers of four
+        for t in tickets:
+            ctl.release(t)
+        assert ctl.pressure_ahead == 0.0
+
+    def test_depth_one_admitted_request_sees_zero_pressure(self):
+        # Regression: counting the request's own slot made max_depth=1
+        # report pressure 1.0 for every admitted request.
+        ctl = AdmissionController(max_depth=1)
+        ctl.admit()
+        assert ctl.pressure == 1.0
+        assert ctl.pressure_ahead == 0.0
+
     def test_bad_depth_rejected(self):
         with pytest.raises(ValueError):
             AdmissionController(max_depth=0)
@@ -113,6 +130,36 @@ class TestTenantQuotas:
     def test_no_quota_means_no_buckets(self):
         ctl = AdmissionController(max_depth=4)
         assert ctl.bucket_for("anyone") is None
+
+    def test_bucket_table_is_bounded(self):
+        # Regression: one bucket per distinct tenant string was an
+        # unbounded-memory path in the never-buffer-without-bound layer.
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_depth=1000, tenant_rate=1.0, tenant_burst=5.0,
+            max_tenants=8, clock=clock,
+        )
+        for i in range(100):
+            ctl.release(ctl.admit(f"tenant-{i}"))
+        assert len(ctl._buckets) <= 8
+
+    def test_eviction_prefers_idle_buckets_and_preserves_active_quota(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_depth=1000, tenant_rate=0.001, tenant_burst=2.0,
+            max_tenants=2, clock=clock,
+        )
+        ctl.admit("draining"), ctl.admit("draining")  # bucket now empty
+        ctl.bucket_for("idle")  # created full, never drained
+        ctl.admit("newcomer")  # at cap: must evict the idle bucket
+        assert "draining" in ctl._buckets  # the active bucket survived
+        assert "idle" not in ctl._buckets
+        with pytest.raises(ServiceOverloadError):
+            ctl.admit("draining")  # its dry state was not forgotten
+
+    def test_bad_max_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_depth=4, tenant_rate=1.0, max_tenants=0)
 
     def test_snapshot_shape(self):
         ctl = AdmissionController(max_depth=4)

@@ -98,6 +98,42 @@ class TestPoisonIsolation:
         assert batcher.stats.batch_failures == 1
         assert batcher.stats.solo_retries == 4  # every member re-ran alone
 
+    def test_short_result_list_never_hangs_the_batch(self, catalog):
+        # Regression: a runner returning fewer results than queries left
+        # the unpaired members' futures unresolved forever.  A count
+        # mismatch must instead fall to the solo-retry path, where every
+        # member settles one way or the other.
+        def short_runner(queries, deadline_s):
+            if len(queries) > 1:
+                return [float(q.level) for q in queries[:-1]]  # one short
+            return [float(q.level) for q in queries]
+
+        batcher = MicroBatcher(short_runner, max_batch=16, max_delay_s=0.01)
+
+        async def go():
+            results = await asyncio.gather(
+                *[batcher.submit(_query(catalog, level=i)) for i in (1, 2, 3)]
+            )
+            await batcher.aclose()
+            return results
+
+        assert asyncio.run(go()) == [1.0, 2.0, 3.0]
+        assert batcher.stats.batch_failures == 1
+        assert batcher.stats.solo_retries == 3
+
+    def test_wrong_solo_cardinality_raises_instead_of_hanging(self, catalog):
+        def empty_runner(queries, deadline_s):
+            return []
+
+        batcher = MicroBatcher(empty_runner, max_batch=16, max_delay_s=0.001)
+
+        async def go():
+            with pytest.raises(EstimatorUnavailable, match="0 results"):
+                await batcher.submit(_query(catalog))
+            await batcher.aclose()
+
+        asyncio.run(go())
+
     def test_clean_batch_has_no_retries(self, catalog):
         runner = RecordingRunner()
         batcher = MicroBatcher(runner, max_batch=16, max_delay_s=0.01)

@@ -61,7 +61,7 @@ class TestPressureDegradation:
     def test_rungs_cheapen_as_the_queue_fills(self, catalog):
         config = ServerConfig(
             max_depth=4,
-            policy=DegradePolicy(cached_at=0.26, parametric_at=0.75, shed_at=0.95),
+            policy=DegradePolicy(cached_at=0.2, parametric_at=0.5, shed_at=0.75),
             max_delay_s=0.005,
         )
         server = EstimationServer(catalog, config)
@@ -74,8 +74,9 @@ class TestPressureDegradation:
                 )
 
         outcomes = asyncio.run(go())
-        # Admission is synchronous and in task order, so the pressures
-        # seen are 0.25, 0.5, 0.75, 1.0 — one per rung of the ladder.
+        # Admission is synchronous and in task order, and each request
+        # measures the pressure of its *peers* (its own slot excluded),
+        # so the pressures seen are 0.0, 0.25, 0.5, 0.75 — one per rung.
         assert outcomes[0].provenance.rung == "full"
         assert outcomes[1].provenance.rung == "cached-coarse"
         assert outcomes[1].degraded
@@ -86,8 +87,10 @@ class TestPressureDegradation:
         assert server.ladder.snapshot()["shed"] == 1
 
     def test_cached_rung_coarsens_by_policy(self, catalog):
+        # max_depth=2: the second concurrent request sees one peer ahead
+        # of it, i.e. pressure 0.5 >= cached_at.
         config = ServerConfig(
-            max_depth=4,
+            max_depth=2,
             policy=DegradePolicy(cached_at=0.4, coarsen_by=3),
             max_delay_s=0.005,
         )
@@ -109,6 +112,15 @@ class TestPressureDegradation:
             GHHistogram.build(ds2, 4)
         )
         assert second.selectivity == pytest.approx(coarse, rel=1e-12)
+
+    def test_depth_one_server_still_answers(self, catalog):
+        # Regression: when pressure counted the request's own slot,
+        # max_depth=1 made every admitted request see 1.0 >= shed_at
+        # and the server could never answer anything.
+        server = EstimationServer(catalog, ServerConfig(max_depth=1))
+        response = serve_one(server, ServeRequest("roads", "rivers", level=5))
+        assert response.provenance.rung == "full"
+        assert not response.degraded
 
     def test_queue_full_rejection_counts_as_shed(self, catalog):
         server = EstimationServer(catalog, ServerConfig(max_depth=1))

@@ -114,6 +114,29 @@ class TestEstimation:
                 > before["shards"][shard_id]["calls"]
             )
 
+    def test_concurrent_callers_never_swap_replies(self, pool, catalog):
+        # Regression: without the per-shard lock, threads interleaved
+        # send/poll/recv on one pipe and could receive each other's
+        # replies (a silently wrong histogram) or tear the stream.  The
+        # server really does call the pool from executor threads.
+        from concurrent.futures import ThreadPoolExecutor
+
+        levels = [3, 4, 5, 6]
+        expected = {
+            level: GHHistogram.build(catalog["roads"], level).estimate_selectivity(
+                GHHistogram.build(catalog["rivers"], level)
+            )
+            for level in levels
+        }
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            futures = [
+                executor.submit(pool.estimate, "roads", "rivers", "gh", level)
+                for level in levels * 4
+            ]
+            results = [f.result(timeout=60.0) for f in futures]
+        for level, value in zip(levels * 4, results):
+            assert value == pytest.approx(expected[level], rel=0, abs=0)
+
     def test_logical_error_reported_without_tripping_the_breaker(self, pool):
         with pytest.raises(EstimatorUnavailable, match="KeyError"):
             pool.prepare("roads", scheme="nope")
@@ -124,6 +147,22 @@ class TestEstimation:
         with pytest.raises(EstimatorUnavailable, match="EstimationTimeout"):
             pool.prepare("roads", budget_s=0.0)
         assert pool.ping(0)
+
+    def test_estimate_budget_covers_both_prepares(self, pool, monkeypatch):
+        # Regression: budget_s was shipped verbatim to both prepares, so
+        # a request with t seconds left could burn ~2t of worker time.
+        seen = []
+        original = pool.prepare
+
+        def recording(name, scheme="gh", level=7, *, extent=None, budget_s=None):
+            seen.append(budget_s)
+            return original(name, scheme, level, extent=extent, budget_s=budget_s)
+
+        monkeypatch.setattr(pool, "prepare", recording)
+        pool.estimate("roads", "rivers", "gh", 4, budget_s=30.0)
+        first, second = seen
+        assert first <= 30.0
+        assert second < first  # only what the first prepare left over
 
 
 class TestSupervision:
