@@ -1,0 +1,277 @@
+"""Artifact-catalog benchmark: zero-copy warm starts vs cold builds.
+
+Emits ``BENCH_store.json`` with two scenarios:
+
+* **warm_open** — for every registry dataset at a fixed cardinality,
+  the cold path (``GHHistogram.build`` at h=5 from the raw rectangles)
+  against the warm path (``ArtifactCatalog.load_histogram``: manifest
+  read + ``np.load(mmap_mode="r")``, no stat plane touched).  Bit
+  identity of the two histograms is asserted *before* any timing, so
+  the speedup claim is over interchangeable artifacts.
+* **shard_warm_start** — a :class:`ShardPool` first-touch ``prepare``
+  sweep over the whole catalog, cold (every worker builds) vs warm
+  (workers attached to a prewarmed read-only catalog), plus the pool's
+  ``store_hits`` accounting for the warm sweep.
+
+Timings are min-over-repeats of ``time.perf_counter`` intervals.  The
+acceptance floors (warm open >= 10x cold build; warm sweep faster than
+cold) are *gated*: they only fail the run on a machine with >= 4 CPUs
+and never in ``--quick`` mode — elsewhere they are recorded as ungated
+observations in the JSON.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full
+    PYTHONPATH=src python benchmarks/bench_store.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.registry import PAPER_CARDINALITIES, make_paper_dataset
+from repro.histograms import GHHistogram
+from repro.histograms.file import histogram_parts
+from repro.perf import HistogramCache
+from repro.serve import ShardPool
+from repro.store import ArtifactCatalog
+
+LEVEL = 5
+SPEEDUP_FLOOR = 10.0
+GATE_MIN_CPUS = 4
+
+
+def best_of(repeats: int, fn) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_datasets(names: list[str], cardinality: int) -> dict:
+    return {
+        name: make_paper_dataset(
+            name, scale=PAPER_CARDINALITIES[name] / cardinality
+        )
+        for name in names
+    }
+
+
+def bench_warm_open(datasets: dict, root: Path, repeats: int) -> dict:
+    catalog = ArtifactCatalog(root)
+    per_dataset = {}
+    for name, dataset in datasets.items():
+        key = HistogramCache.key_for(dataset, "gh", LEVEL)
+        built = GHHistogram.build(dataset, LEVEL)
+        catalog.put_histogram(
+            key, built, source={"dataset": name, "scale": float(len(dataset))}
+        )
+        # Identity gate before any timing: the two paths must be
+        # interchangeable or the speedup is meaningless.
+        loaded = catalog.load_histogram(key)
+        scalars_a, stats_a = histogram_parts(built)
+        scalars_b, stats_b = histogram_parts(loaded)
+        assert scalars_a == scalars_b, f"{name}: scalar drift"
+        assert np.array_equal(stats_a, stats_b), f"{name}: stat plane drift"
+
+        t_cold = best_of(repeats, lambda: GHHistogram.build(dataset, LEVEL))
+        t_warm = best_of(repeats, lambda: catalog.load_histogram(key))
+        per_dataset[name] = {
+            "rects": len(dataset),
+            "cold_build_ms": t_cold * 1e3,
+            "warm_open_ms": t_warm * 1e3,
+            "speedup": t_cold / t_warm if t_warm > 0 else float("inf"),
+        }
+    speedups = [d["speedup"] for d in per_dataset.values()]
+    return {
+        "level": LEVEL,
+        "per_dataset": per_dataset,
+        "min_speedup": min(speedups),
+        "median_speedup": float(np.median(speedups)),
+        "catalog_bytes": catalog.total_bytes(),
+    }
+
+
+def bench_warm_open_scaling(
+    name: str, cardinalities: list[int], repeats: int
+) -> dict:
+    """Speedup vs dataset size: the open cost is O(manifest) while the
+    build cost is O(rects), so the ratio must grow with cardinality."""
+    rows = []
+    for cardinality in cardinalities:
+        dataset = make_paper_dataset(
+            name, scale=PAPER_CARDINALITIES[name] / cardinality
+        )
+        key = HistogramCache.key_for(dataset, "gh", LEVEL)
+        with tempfile.TemporaryDirectory(prefix="bench_store_scale.") as tmp:
+            catalog = ArtifactCatalog(Path(tmp))
+            catalog.put_histogram(key, GHHistogram.build(dataset, LEVEL))
+            t_cold = best_of(repeats, lambda: GHHistogram.build(dataset, LEVEL))
+            t_warm = best_of(repeats, lambda: catalog.load_histogram(key))
+        rows.append(
+            {
+                "rects": len(dataset),
+                "cold_build_ms": t_cold * 1e3,
+                "warm_open_ms": t_warm * 1e3,
+                "speedup": t_cold / t_warm if t_warm > 0 else float("inf"),
+            }
+        )
+    return {"dataset": name, "level": LEVEL, "points": rows}
+
+
+def sweep(datasets: dict, root: "Path | None", num_shards: int) -> "tuple[float, int]":
+    """Start a pool, first-touch prepare every dataset, return (s, hits)."""
+    start = time.perf_counter()
+    with ShardPool(
+        datasets, num_shards, store_root=root, call_timeout_s=120.0
+    ) as pool:
+        for name in datasets:
+            pool.prepare(name, "gh", LEVEL)
+        elapsed = time.perf_counter() - start
+        hits = int(pool.stats()["store_hits"])
+    return elapsed, hits
+
+
+def bench_shard_warm_start(datasets: dict, root: Path, num_shards: int) -> dict:
+    cold_s, cold_hits = sweep(datasets, None, num_shards)
+    warm_s, warm_hits = sweep(datasets, root, num_shards)
+    return {
+        "num_shards": num_shards,
+        "datasets": len(datasets),
+        "cold_sweep_s": cold_s,
+        "warm_sweep_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cold_store_hits": cold_hits,
+        "warm_store_hits": warm_hits,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: two datasets, tiny cardinality, floors ungated",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_store.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        names = sorted(PAPER_CARDINALITIES)[:2]
+        cardinality, repeats, num_shards = 300, 2, 1
+    else:
+        names = sorted(PAPER_CARDINALITIES)
+        cardinality, repeats, num_shards = 2000, 5, 2
+
+    cpus = os.cpu_count() or 1
+    gated = (not args.quick) and cpus >= GATE_MIN_CPUS
+    datasets = make_datasets(names, cardinality)
+
+    with tempfile.TemporaryDirectory(prefix="bench_store.") as tmp:
+        root = Path(tmp) / "catalog"
+        print(f"warm_open: {len(datasets)} datasets x {cardinality} rects, h={LEVEL}")
+        warm_open = bench_warm_open(datasets, root, repeats)
+        for name, row in warm_open["per_dataset"].items():
+            print(
+                f"  {name}: build {row['cold_build_ms']:.2f} ms -> "
+                f"open {row['warm_open_ms']:.2f} ms ({row['speedup']:.1f}x)"
+            )
+        print(
+            f"shard_warm_start: {num_shards} shards over {len(datasets)} datasets"
+        )
+        shard = bench_shard_warm_start(datasets, root, num_shards)
+        print(
+            f"  cold {shard['cold_sweep_s']:.2f} s -> warm "
+            f"{shard['warm_sweep_s']:.2f} s ({shard['speedup']:.1f}x, "
+            f"{shard['warm_store_hits']} store hits)"
+        )
+
+    scaling = None
+    if not args.quick:
+        scaling = bench_warm_open_scaling("CAR", [2000, 8000, 32000, 128000], repeats)
+        print("warm_open_scaling (CAR):")
+        for row in scaling["points"]:
+            print(
+                f"  n={row['rects']}: build {row['cold_build_ms']:.2f} ms -> "
+                f"open {row['warm_open_ms']:.2f} ms ({row['speedup']:.1f}x)"
+            )
+
+    report = {
+        "bench": "store",
+        "config": {
+            "quick": bool(args.quick),
+            "cardinality": cardinality,
+            "level": LEVEL,
+            "repeats": repeats,
+            "cpus": cpus,
+            "floors_gated": gated,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "notes": (
+            "Warm open = manifest read + np.load(mmap_mode='r'); no stat"
+            " plane is paged in until first use, which is the zero-copy"
+            " point. Bit identity of warm and cold artifacts is asserted"
+            " before timing. Floors (warm open >= 10x build; warm shard"
+            " sweep < cold) are enforced only with >= 4 CPUs and never in"
+            " --quick; otherwise they are recorded as observations."
+        ),
+        "scenarios": {"warm_open": warm_open, "shard_warm_start": shard},
+    }
+    if scaling is not None:
+        report["scenarios"]["warm_open_scaling"] = scaling
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    # Timing claims are meaningless at --quick scale (a 300-rect build
+    # is cheaper than a manifest read); only the full run asserts them.
+    if not args.quick and warm_open["min_speedup"] <= 1.0:
+        failures.append(
+            f"warm open slower than a cold build "
+            f"({warm_open['min_speedup']:.2f}x) — the tier is pointless"
+        )
+    if shard["warm_store_hits"] != len(datasets):
+        failures.append(
+            f"warm sweep hit the store only {shard['warm_store_hits']}/"
+            f"{len(datasets)} times"
+        )
+    if shard["cold_store_hits"] != 0:
+        failures.append("cold sweep unexpectedly reported store hits")
+    if gated:
+        if warm_open["min_speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"gated floor: warm open {warm_open['min_speedup']:.1f}x < "
+                f"{SPEEDUP_FLOOR:.0f}x"
+            )
+        if shard["speedup"] <= 1.0:
+            failures.append(
+                f"gated floor: warm shard sweep not faster ({shard['speedup']:.2f}x)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ __all__ = [
     "TransientEstimationError",
     "ServiceOverloadError",
     "ShardUnavailableError",
+    "ArtifactIntegrityError",
     "DegradedResultWarning",
 ]
 
@@ -126,6 +127,18 @@ class ShardUnavailableError(EstimatorUnavailable):
         self.shard_id = shard_id
         #: Supervisor state behind the refusal ("open", "dead", "failed").
         self.state = state
+
+
+class ArtifactIntegrityError(ReproError, RuntimeError):
+    """A persisted catalog artifact failed an integrity check.
+
+    Raised (and caught internally — a corrupt entry degrades to a miss)
+    by ``repro.store`` when a manifest is unreadable, a payload file is
+    truncated relative to its manifest, or a checksum/shape/dtype does
+    not match what was published.  The atomic publish protocol makes
+    this *unreachable* for crashes at publish time; seeing it means
+    bit rot or an out-of-band writer.
+    """
 
 
 class DegradedResultWarning(UserWarning):

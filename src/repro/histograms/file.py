@@ -21,56 +21,111 @@ from .gh_basic import BasicGHHistogram
 from .grid import Grid
 from .ph import PHHistogram
 
-__all__ = ["save_histogram", "load_histogram", "histogram_to_bytes", "histogram_from_bytes"]
+__all__ = [
+    "save_histogram",
+    "load_histogram",
+    "histogram_to_bytes",
+    "histogram_from_bytes",
+    "histogram_parts",
+    "histogram_from_parts",
+    "STAT_PLANES",
+]
 
 Histogram = Union[PHHistogram, GHHistogram, BasicGHHistogram]
 
 _KINDS = {PHHistogram: "ph", GHHistogram: "gh", BasicGHHistogram: "gh_basic"}
 
+#: Stat-plane order per kind — the row order of the stacked ``stats``
+#: array produced by :func:`histogram_parts` (and stored in files).
+STAT_PLANES: dict[str, tuple[str, ...]] = {
+    "ph": ("num", "cov", "xavg", "yavg", "num_i", "cov_i", "xavg_i", "yavg_i"),
+    "gh": ("c", "o", "h", "v"),
+    "gh_basic": ("c", "i", "h", "v"),
+}
 
-def _payload(hist: Histogram) -> dict[str, np.ndarray]:
+
+def histogram_parts(hist: Histogram) -> tuple[dict[str, object], np.ndarray]:
+    """Split a histogram into JSON-friendly scalars + one stacked array.
+
+    Returns ``(scalars, stats)`` where ``scalars`` holds ``kind`` /
+    ``level`` / ``extent`` / ``count`` (plus ``avg_span`` for PH) as
+    plain Python values, and ``stats`` stacks the per-cell planes in
+    :data:`STAT_PLANES` order.  :func:`histogram_from_parts` is the
+    exact inverse; ``repro.store`` persists precisely these two pieces.
+    """
     kind = _KINDS.get(type(hist))
     if kind is None:
         raise TypeError(f"unsupported histogram type {type(hist).__name__}")
-    payload: dict[str, np.ndarray] = {
-        "kind": np.str_(kind),
-        "level": np.int64(hist.grid.level),
-        "extent": np.array(hist.grid.extent.as_tuple(), dtype=np.float64),
-        "count": np.int64(hist.count),
+    scalars: dict[str, object] = {
+        "kind": kind,
+        "level": int(hist.grid.level),
+        "extent": [float(x) for x in hist.grid.extent.as_tuple()],
+        "count": int(hist.count),
     }
     if isinstance(hist, PHHistogram):
-        payload["avg_span"] = np.float64(hist.avg_span)
-        payload["stats"] = np.stack(
-            [hist.num, hist.cov, hist.xavg, hist.yavg,
-             hist.num_i, hist.cov_i, hist.xavg_i, hist.yavg_i]
+        scalars["avg_span"] = float(hist.avg_span)
+    stats = np.stack([getattr(hist, plane) for plane in STAT_PLANES[kind]])
+    return scalars, stats
+
+
+def histogram_from_parts(scalars: dict[str, object], stats: np.ndarray) -> Histogram:
+    """Rebuild a histogram from :func:`histogram_parts` output.
+
+    ``stats`` may be any array-like with the right leading dimension —
+    in particular a read-only ``np.load(..., mmap_mode="r")`` view, in
+    which case every plane is a zero-copy slice of that view.
+    """
+    kind = str(scalars["kind"])
+    planes = STAT_PLANES.get(kind)
+    if planes is None:
+        raise ValueError(f"unknown histogram kind {kind!r}")
+    if stats.ndim != 2 or stats.shape[0] != len(planes):
+        raise ValueError(
+            f"{kind} stats must stack {len(planes)} planes, got shape {stats.shape}"
         )
-    elif isinstance(hist, GHHistogram):
-        payload["stats"] = np.stack([hist.c, hist.o, hist.h, hist.v])
-    else:
-        payload["stats"] = np.stack([hist.c, hist.i, hist.h, hist.v])
+    extent_vals = scalars["extent"]
+    if not isinstance(extent_vals, (list, tuple)) or len(extent_vals) != 4:
+        raise ValueError(f"extent must hold 4 coordinates, got {extent_vals!r}")
+    grid = Grid(Rect(*(float(x) for x in extent_vals)), int(scalars["level"]))  # type: ignore[arg-type]
+    if stats.shape[1] != grid.cell_count:
+        raise ValueError(
+            f"level-{grid.level} stats need {grid.cell_count} cells, got {stats.shape[1]}"
+        )
+    count = int(scalars["count"])  # type: ignore[call-overload]
+    fields = {plane: stats[i] for i, plane in enumerate(planes)}
+    if kind == "ph":
+        return PHHistogram(
+            grid=grid, count=count, avg_span=float(scalars["avg_span"]), **fields  # type: ignore[arg-type]
+        )
+    if kind == "gh":
+        return GHHistogram(grid=grid, count=count, **fields)
+    return BasicGHHistogram(grid=grid, count=count, **fields)
+
+
+def _payload(hist: Histogram) -> dict[str, np.ndarray]:
+    scalars, stats = histogram_parts(hist)
+    payload: dict[str, np.ndarray] = {
+        "kind": np.str_(str(scalars["kind"])),
+        "level": np.int64(scalars["level"]),  # type: ignore[arg-type]
+        "extent": np.array(scalars["extent"], dtype=np.float64),
+        "count": np.int64(scalars["count"]),  # type: ignore[arg-type]
+        "stats": stats,
+    }
+    if "avg_span" in scalars:
+        payload["avg_span"] = np.float64(scalars["avg_span"])  # type: ignore[arg-type]
     return payload
 
 
 def _restore(data) -> Histogram:
-    kind = str(data["kind"])
-    grid = Grid(Rect(*(float(x) for x in data["extent"])), int(data["level"]))
-    count = int(data["count"])
-    stats = data["stats"]
-    if kind == "ph":
-        return PHHistogram(
-            grid=grid,
-            count=count,
-            avg_span=float(data["avg_span"]),
-            num=stats[0], cov=stats[1], xavg=stats[2], yavg=stats[3],
-            num_i=stats[4], cov_i=stats[5], xavg_i=stats[6], yavg_i=stats[7],
-        )
-    if kind == "gh":
-        return GHHistogram(grid=grid, count=count, c=stats[0], o=stats[1], h=stats[2], v=stats[3])
-    if kind == "gh_basic":
-        return BasicGHHistogram(
-            grid=grid, count=count, c=stats[0], i=stats[1], h=stats[2], v=stats[3]
-        )
-    raise ValueError(f"unknown histogram kind {kind!r}")
+    scalars: dict[str, object] = {
+        "kind": str(data["kind"]),
+        "level": int(data["level"]),
+        "extent": [float(x) for x in data["extent"]],
+        "count": int(data["count"]),
+    }
+    if "avg_span" in getattr(data, "files", data):
+        scalars["avg_span"] = float(data["avg_span"])
+    return histogram_from_parts(scalars, data["stats"])
 
 
 def save_histogram(hist: Histogram, path: str | os.PathLike) -> Path:

@@ -15,17 +15,29 @@ averages rather than sums, and the dataset-wide ``AvgSpan`` is a mean
 over an unknown membership — neither can be updated without the raw
 data.  This asymmetry is a practical advantage of GH beyond the paper's
 accuracy results, and the ablation suite exercises it.
+
+**Catalog coherence.**  A mutated dataset has a new fingerprint, so its
+old on-disk artifact in a :class:`~repro.store.ArtifactCatalog` can
+never be *served* for the new data — but it would linger as garbage
+that ``verify --rebuild`` cannot reproduce.  Both maintenance
+operations therefore accept the store plus the affected keys: stale
+input keys are invalidated and the maintained result may be republished
+under its new key, keeping the catalog an honest mirror of live data.
 """
 
 from __future__ import annotations
 
-from typing import TypeVar, Union
+from typing import TYPE_CHECKING, TypeVar, Union
 
 import numpy as np
 
 from ..geometry import RectArray
 from .gh import GHHistogram
 from .gh_basic import BasicGHHistogram
+
+if TYPE_CHECKING:
+    from ..perf.cache import CacheKey
+    from ..store import ArtifactCatalog
 
 __all__ = ["apply_updates", "merge_histograms"]
 
@@ -48,11 +60,31 @@ def _check_supported(hist) -> tuple:
     return fields
 
 
+def _sync_store(
+    store: "ArtifactCatalog | None",
+    stale_keys: "tuple[CacheKey, ...]",
+    republish_key: "CacheKey | None",
+    result: AdditiveHistogram,
+) -> None:
+    """Invalidate stale catalog entries, then publish the maintained one."""
+    if store is None:
+        if stale_keys or republish_key is not None:
+            raise ValueError("stale/republish keys need a store to act on")
+        return
+    for key in stale_keys:
+        store.invalidate(key)  # False (already gone) is fine
+    if republish_key is not None:
+        store.put_histogram(republish_key, result)
+
+
 def apply_updates(
     hist: H,
     *,
     added: RectArray | None = None,
     removed: RectArray | None = None,
+    store: "ArtifactCatalog | None" = None,
+    stale_key: "CacheKey | None" = None,
+    republish_key: "CacheKey | None" = None,
 ) -> H:
     """A new histogram reflecting inserted and/or deleted rectangles.
 
@@ -61,6 +93,12 @@ def apply_updates(
     never indexed produces a histogram that no longer matches any
     dataset, which this function guards against only via the
     non-negativity floor.
+
+    When ``store`` is given, ``stale_key`` (the input histogram's
+    catalog key) is invalidated so the pre-mutation artifact cannot
+    linger, and ``republish_key`` (the *mutated* dataset's key — the
+    caller computes it, having the data) publishes the maintained
+    result atomically.  Passing keys without a store is an error.
     """
     fields = _check_supported(hist)
     hist_cls = type(hist)
@@ -83,15 +121,30 @@ def apply_updates(
     for name in fields:
         # Float round-off can leave tiny negatives after removals.
         np.maximum(new_values[name], 0.0, out=new_values[name])
-    return hist_cls(grid=hist.grid, count=int(count), **new_values)
+    result = hist_cls(grid=hist.grid, count=int(count), **new_values)
+    _sync_store(store, (stale_key,) if stale_key is not None else (), republish_key, result)
+    return result
 
 
-def merge_histograms(first: H, second: H) -> H:
+def merge_histograms(
+    first: H,
+    second: H,
+    *,
+    store: "ArtifactCatalog | None" = None,
+    stale_keys: "tuple[CacheKey, ...]" = (),
+    republish_key: "CacheKey | None" = None,
+) -> H:
     """The histogram of the union (concatenation) of two datasets.
 
     Both inputs must be the same scheme on the same grid.  Useful for
     parallel builds (shard the data, build per shard, merge) and for
     maintaining statistics of partitioned tables.
+
+    When ``store`` is given, every key in ``stale_keys`` (typically the
+    two inputs', when the merge supersedes the partitions) is
+    invalidated and ``republish_key`` (the union dataset's key)
+    publishes the merged result — same contract as
+    :func:`apply_updates`.
     """
     fields = _check_supported(first)
     if type(first) is not type(second):
@@ -101,6 +154,8 @@ def merge_histograms(first: H, second: H) -> H:
     merged = {
         name: getattr(first, name) + getattr(second, name) for name in fields
     }
-    return type(first)(
+    result = type(first)(
         grid=first.grid, count=first.count + second.count, **merged
     )
+    _sync_store(store, tuple(stale_keys), republish_key, result)
+    return result

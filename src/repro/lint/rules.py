@@ -578,6 +578,96 @@ def _check_blocking_sleep(ctx: FileContext) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# R009 — single-writer persistence
+# ----------------------------------------------------------------------
+
+#: Module prefixes allowed to write binary artifacts to disk: the
+#: content-addressed catalog (atomic tmp-write/fsync/rename publish),
+#: the dataset snapshot writer, and the legacy histogram .npz format.
+#: Everywhere else, an ad-hoc ``np.save``/``pickle.dump``/binary
+#: ``open`` bypasses the publish protocol and can leave torn artifacts
+#: that a warm-starting worker then maps.
+_PERSISTENCE_SANCTIONED = (
+    "repro.store",
+    "repro.datasets.io",
+    "repro.histograms.file",
+)
+
+#: numpy serializers that write array files.
+_NP_WRITERS = frozenset({"save", "savez", "savez_compressed"})
+
+
+def _binary_write_mode(call: ast.Call) -> bool:
+    """True when ``open(...)`` is given a literal binary-write mode."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return False
+    value = mode.value
+    return "b" in value and any(flag in value for flag in "wxa")
+
+
+def _check_single_writer(ctx: FileContext) -> list[Diagnostic]:
+    """Persistent artifacts must be born through the catalog's atomic
+    publish (or the two sanctioned format modules).  A stray writer
+    elsewhere can tear files mid-write, and every reader that memory-maps
+    the catalog would inherit the corruption — the single-writer
+    discipline is what makes ``mmap_mode="r"`` loads safe."""
+    if not ctx.in_repro:
+        return []
+    if any(
+        ctx.module == prefix or ctx.module.startswith(prefix + ".")
+        for prefix in _PERSISTENCE_SANCTIONED
+    ):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        if parts is None:
+            continue
+        if parts[0] in ("np", "numpy") and len(parts) == 2 and parts[1] in _NP_WRITERS:
+            out.append(
+                ctx.diagnostic(
+                    "R009",
+                    "single-writer",
+                    node,
+                    f"'{'.'.join(parts)}' outside the sanctioned persistence "
+                    "modules — artifacts must go through repro.store's atomic "
+                    "publish (or repro.datasets.io / repro.histograms.file)",
+                )
+            )
+        elif parts == ("pickle", "dump") or parts == ("pickle", "dumps"):
+            out.append(
+                ctx.diagnostic(
+                    "R009",
+                    "single-writer",
+                    node,
+                    f"'pickle.{parts[1]}' outside the sanctioned persistence "
+                    "modules — pickled artifacts bypass the catalog's "
+                    "manifest/checksum protocol and cannot be verified",
+                )
+            )
+        elif parts == ("open",) and _binary_write_mode(node):
+            out.append(
+                ctx.diagnostic(
+                    "R009",
+                    "single-writer",
+                    node,
+                    "binary-mode write via 'open' outside the sanctioned "
+                    "persistence modules — raw byte writers skip the "
+                    "tmp-write/fsync/rename publish and can tear artifacts",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -642,6 +732,13 @@ RULES: dict[str, Rule] = {
             "no blocking time.sleep outside the sanctioned backoff helpers; "
             "async code must await asyncio.sleep",
             _check_blocking_sleep,
+        ),
+        Rule(
+            "R009",
+            "single-writer",
+            "persistent binary artifacts are written only by repro.store / "
+            "repro.datasets.io / repro.histograms.file",
+            _check_single_writer,
         ),
     )
 }

@@ -45,7 +45,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from ..core.estimator import (
     BasicGHEstimator,
@@ -57,8 +57,12 @@ from ..datasets import SpatialDataset
 from ..geometry import Rect, RectArray
 from ..histograms import BasicGHHistogram, GHHistogram, PHHistogram, downsample_gh
 from ..rtree import DEFAULT_MAX_ENTRIES, FlatRTree, flat_load_hilbert, flat_load_str
+from ..errors import EstimationTimeout
 from ..runtime import active_scope
 from .fingerprint import dataset_fingerprint, rects_fingerprint
+
+if TYPE_CHECKING:
+    from ..store import ArtifactCatalog
 
 __all__ = [
     "CacheKey",
@@ -131,16 +135,30 @@ class HistogramCache:
     derive_gh:
         When True (default), a GH miss is answered by 2×2-pooling a
         cached finer GH of the same dataset/extent when one exists.
+    store:
+        Optional :class:`~repro.store.ArtifactCatalog` L2 tier.  An L1
+        miss then consults the catalog before building (exact key
+        first, then a stored *finer* GH pooled down), and fresh builds
+        are published back (atomically; skipped while any runtime
+        scope is active, mirroring the no-poison insertion rule).
+        Catalog loads are zero-copy mmap views.
 
     Thread-safe: lookups and insertions are lock-protected; builds run
     outside the lock so concurrent misses on different keys overlap.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES, *, derive_gh: bool = True) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        derive_gh: bool = True,
+        store: "ArtifactCatalog | None" = None,
+    ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = int(max_bytes)
         self.derive_gh = derive_gh
+        self.store = store
         self.stats = CacheStats()
         self._entries: OrderedDict[CacheKey, Histogram] = OrderedDict()
         self._bytes = 0
@@ -199,9 +217,29 @@ class HistogramCache:
         """The histogram for ``(dataset, scheme, level, extent)``.
 
         Resolution order: cache hit → GH derivation from a cached finer
-        level → fresh build from the data.  Derived and built histograms
-        are retained (LRU within the byte budget) unless a fault hook is
-        active in the current runtime scope.
+        level → L2 catalog (exact, then stored finer GH pooled down) →
+        fresh build from the data.  Derived and built histograms are
+        retained (LRU within the byte budget) unless a fault hook is
+        active in the current runtime scope; fresh builds are also
+        published to the catalog when one is attached.
+        """
+        return self.resolve(dataset, scheme, level, extent=extent)[0]
+
+    def resolve(
+        self,
+        dataset: SpatialDataset,
+        scheme: str = "gh",
+        level: int = 7,
+        *,
+        extent: Rect | None = None,
+    ) -> "tuple[Histogram, str]":
+        """:meth:`get_or_build` plus the *source* that answered.
+
+        Sources, cheapest first: ``"l1"`` (in-memory hit),
+        ``"derived"`` (pooled from an in-memory finer GH), ``"store"``
+        (catalog mmap load), ``"store-derived"`` (pooled from a stored
+        finer GH), ``"build"`` (scanned the data).  The serving layer
+        maps these onto :class:`~repro.serve.degrade.ServeProvenance`.
         """
         extent = extent or dataset.extent
         key = self.key_for(dataset, scheme, level, extent)
@@ -210,21 +248,66 @@ class HistogramCache:
             if hit is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return hit
+                return hit, "l1"
             self.stats.misses += 1
             donor = self._finest_cached_finer_gh(key) if scheme == "gh" and self.derive_gh else None
         if donor is not None:
-            hist: Histogram = donor
-            for _ in range(donor.grid.level - level):
-                hist = downsample_gh(hist)
+            hist = self._pool_down(donor, level)
             with self._lock:
                 self.stats.derivations += 1
-        else:
-            hist = _BUILDERS[scheme].build(dataset, level, extent=extent)
-            with self._lock:
-                self.stats.builds += 1
+            self._insert(key, hist)
+            return hist, "derived"
+        if self.store is not None:
+            stored = self.store.load_histogram(key)
+            if stored is not None:
+                self._insert(key, stored)
+                return stored, "store"
+            if scheme == "gh" and self.derive_gh:
+                donor_key = self.store.gh_donor_key(key)
+                stored_donor = (
+                    self.store.load_histogram(donor_key)
+                    if donor_key is not None
+                    else None
+                )
+                if stored_donor is not None:
+                    hist = self._pool_down(stored_donor, level)  # type: ignore[arg-type]
+                    with self._lock:
+                        self.stats.derivations += 1
+                    self._insert(key, hist)
+                    return hist, "store-derived"
+        hist = _BUILDERS[scheme].build(dataset, level, extent=extent)
+        with self._lock:
+            self.stats.builds += 1
+        self._publish_to_store(key, hist)
         self._insert(key, hist)
+        return hist, "build"
+
+    @staticmethod
+    def _pool_down(donor: GHHistogram, level: int) -> Histogram:
+        """Fold a finer GH down to ``level`` by exact 2×2 pooling."""
+        hist: Histogram = donor
+        for _ in range(donor.grid.level - level):
+            hist = downsample_gh(hist)
         return hist
+
+    def _publish_to_store(self, key: CacheKey, hist: Histogram) -> None:
+        """Best-effort L2 publish of a fresh build.
+
+        Skipped while a fault hook is active (the ``_insert`` no-poison
+        rule, made durable) or a deadline is ticking (a request's
+        budget must not be spent on fsyncs).  Publish failures
+        (deadline mid-write, disk errors) abandon the staging dir and
+        never fail the lookup.
+        """
+        if self.store is None or self.store.read_only:
+            return
+        scope = active_scope()
+        if scope is not None and (scope.hook is not None or scope.deadline is not None):
+            return
+        try:
+            self.store.put_histogram(key, hist)
+        except (EstimationTimeout, OSError):
+            return
 
     def _finest_cached_finer_gh(self, key: CacheKey) -> GHHistogram | None:
         """Cheapest derivation donor: the *coarsest* cached level > requested.
@@ -327,13 +410,21 @@ class FlatTreeCache:
     rectangle arrays (:func:`~repro.perf.fingerprint.rects_fingerprint`)
     because sample trees are built from picked rects, not datasets.
     ``stats`` reuses :class:`CacheStats`; the ``derivations`` counter
-    stays zero (trees have no cross-level derivation).
+    stays zero (trees have no cross-level derivation).  An optional
+    ``store`` catalog adds the same L2 tier as :class:`HistogramCache`:
+    miss → mmap load of the packed blocks → bulk-load + publish.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        store: "ArtifactCatalog | None" = None,
+    ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = int(max_bytes)
+        self.store = store
         self.stats = CacheStats()
         self._entries: OrderedDict[TreeCacheKey, FlatRTree] = OrderedDict()
         self._bytes = 0
@@ -393,23 +484,53 @@ class FlatTreeCache:
         """The flat tree for ``(rects, packing, max_entries)``.
 
         A hit returns the retained tree (``FlatRTree`` is immutable by
-        convention, so sharing is safe); a miss bulk-loads, retains
-        (LRU within the byte budget, unless a fault hook is active), and
+        convention, so sharing is safe); a miss consults the L2 catalog
+        (when attached) and otherwise bulk-loads, retains (LRU within
+        the byte budget, unless a fault hook is active), publishes, and
         returns.
         """
+        return self.resolve(rects, packing, max_entries=max_entries)[0]
+
+    def resolve(
+        self,
+        rects: RectArray,
+        packing: str = "str",
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "tuple[FlatRTree, str]":
+        """:meth:`get_or_build` plus the source: ``"l1"`` / ``"store"``
+        / ``"build"`` (same contract as :meth:`HistogramCache.resolve`)."""
         key = self.key_for(rects, packing, max_entries)
         with self._lock:
             hit = self._entries.get(key)
             if hit is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return hit
+                return hit, "l1"
             self.stats.misses += 1
+        if self.store is not None:
+            stored = self.store.load_tree(key)
+            if stored is not None:
+                self._insert(key, stored)
+                return stored, "store"
         tree = _TREE_LOADERS[packing](rects, max_entries=max_entries)
         with self._lock:
             self.stats.builds += 1
+        self._publish_to_store(key, tree)
         self._insert(key, tree)
-        return tree
+        return tree, "build"
+
+    def _publish_to_store(self, key: TreeCacheKey, tree: FlatRTree) -> None:
+        """Best-effort L2 publish (same skip rules as the histogram cache)."""
+        if self.store is None or self.store.read_only:
+            return
+        scope = active_scope()
+        if scope is not None and (scope.hook is not None or scope.deadline is not None):
+            return
+        try:
+            self.store.put_tree(key, tree)
+        except (EstimationTimeout, OSError):
+            return
 
     def _insert(self, key: TreeCacheKey, tree: FlatRTree) -> None:
         scope = active_scope()

@@ -37,7 +37,7 @@ and the counts are **bit-identical** — the differential matrix in
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -218,6 +218,104 @@ class FlatRTree:
             child_blocks.append(_pad_child_blocks(below, len(starts), max_entries))
         return cls(
             max_entries, coords, ids, level_mbrs, level_start, level_count, child_blocks
+        )
+
+    # ------------------------------------------------------------------
+    def to_blocks(self) -> Dict[str, np.ndarray]:
+        """Pack the whole tree into a flat ``name → array`` mapping.
+
+        The layout is the persistence schema used by ``repro.store``:
+        ``entry_coords`` / ``entry_ids`` plus, per level ``l``,
+        ``level{l}_mbrs`` / ``level{l}_start`` / ``level{l}_count`` and
+        ``level{l}_planes`` — the four child-coordinate planes stacked
+        into one ``(4, parents, max_entries)`` float64 array so each
+        level round-trips through a single ``.npy`` file.
+        :meth:`from_blocks` is the exact inverse; joins over the
+        rebuilt tree are bit-identical because the padded planes are
+        stored verbatim, not recomputed.
+        """
+        blocks: Dict[str, np.ndarray] = {
+            "entry_coords": self.entry_coords,
+            "entry_ids": self.entry_ids,
+        }
+        for lvl in range(self.height):
+            blocks[f"level{lvl}_mbrs"] = self.level_mbrs[lvl]
+            blocks[f"level{lvl}_start"] = self.level_start[lvl]
+            blocks[f"level{lvl}_count"] = self.level_count[lvl]
+            blocks[f"level{lvl}_planes"] = np.stack(self.child_blocks[lvl])
+        return blocks
+
+    @classmethod
+    def from_blocks(
+        cls, max_entries: int, blocks: Mapping[str, np.ndarray]
+    ) -> "FlatRTree":
+        """Rebuild a tree from a :meth:`to_blocks` mapping.
+
+        Accepts read-only memmap views — every array is used as-is
+        (plane tuples are zero-copy slices of the stacked planes file),
+        so a catalog-loaded tree shares page-cache pages across
+        processes.  Raises :class:`ValueError` on any structural
+        inconsistency (missing level, shape mismatch, bad dtype) so
+        torn or foreign payloads are rejected instead of mis-joined.
+        """
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        coords = blocks.get("entry_coords")
+        ids = blocks.get("entry_ids")
+        if coords is None or ids is None:
+            raise ValueError("blocks must include entry_coords and entry_ids")
+        n = coords.shape[0] if coords.ndim == 2 else -1
+        if coords.ndim != 2 or coords.shape[1] != 4 or coords.dtype != np.float64:
+            raise ValueError(f"entry_coords must be (n, 4) float64, got {coords.shape}")
+        if ids.shape != (n,) or ids.dtype != np.int64:
+            raise ValueError("entry_ids must be (n,) int64 matching entry_coords")
+        level_mbrs: List[np.ndarray] = []
+        level_start: List[np.ndarray] = []
+        level_count: List[np.ndarray] = []
+        child_blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        below = n
+        lvl = 0
+        while f"level{lvl}_mbrs" in blocks:
+            mbrs = blocks[f"level{lvl}_mbrs"]
+            start = blocks[f"level{lvl}_start"]
+            count = blocks[f"level{lvl}_count"]
+            planes = blocks.get(f"level{lvl}_planes")
+            m = mbrs.shape[0] if mbrs.ndim == 2 else -1
+            if mbrs.ndim != 2 or mbrs.shape[1] != 4 or mbrs.dtype != np.float64:
+                raise ValueError(f"level {lvl} mbrs must be (m, 4) float64")
+            if start.shape != (m,) or count.shape != (m,):
+                raise ValueError(f"level {lvl} start/count must be (m,) vectors")
+            if start.dtype != np.int64 or count.dtype != np.int64:
+                raise ValueError(f"level {lvl} start/count must be int64")
+            if planes is None or planes.shape != (4, m, max_entries):
+                raise ValueError(
+                    f"level {lvl} planes must be (4, {m}, {max_entries})"
+                )
+            if planes.dtype != np.float64:
+                raise ValueError(f"level {lvl} planes must be float64")
+            if m != -(below // -max_entries):
+                raise ValueError(
+                    f"level {lvl} holds {m} nodes over {below} children; "
+                    f"expected {-(below // -max_entries)}"
+                )
+            level_mbrs.append(mbrs)
+            level_start.append(start)
+            level_count.append(count)
+            child_blocks.append((planes[0], planes[1], planes[2], planes[3]))
+            below = m
+            lvl += 1
+        if n > 0 and (not level_mbrs or len(level_mbrs[-1]) != 1):
+            raise ValueError("blocks do not terminate in a single root node")
+        if n == 0 and level_mbrs:
+            raise ValueError("an empty tree must carry no levels")
+        return cls(
+            max_entries,
+            coords,
+            ids,
+            level_mbrs,
+            level_start,
+            level_count,
+            child_blocks,
         )
 
     # ------------------------------------------------------------------

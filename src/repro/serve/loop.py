@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..core.estimator import ParametricEstimator
 from ..datasets import SpatialDataset
@@ -46,6 +46,9 @@ from .admission import AdmissionController
 from .batcher import BatchRunner, MicroBatcher
 from .degrade import DegradationLadder, DegradePolicy, ServeProvenance, ServiceRung
 from .shards import ShardPool
+
+if TYPE_CHECKING:
+    from ..store import ArtifactCatalog
 
 __all__ = ["ServeRequest", "ServeResponse", "ServerConfig", "EstimationServer"]
 
@@ -123,6 +126,12 @@ class EstimationServer:
         :func:`~repro.perf.batch.estimate_many` against the server's
         shared :class:`~repro.perf.cache.HistogramCache` under the
         batch's tightest deadline.
+    store:
+        Optional :class:`~repro.store.ArtifactCatalog` attached as the
+        histogram cache's L2 tier.  ``cached-coarse`` responses then
+        record honest provenance: ``via="store"`` when every side came
+        off disk (or was pooled from a stored finer GH), ``via="build"``
+        when any side had to scan the data.
 
     Use as an async context manager, or call :meth:`aclose` when done.
     """
@@ -134,6 +143,7 @@ class EstimationServer:
         *,
         shard_pool: ShardPool | None = None,
         batch_runner: BatchRunner | None = None,
+        store: "ArtifactCatalog | None" = None,
     ) -> None:
         self.catalog: "dict[str, SpatialDataset]" = (
             dict(catalog) if isinstance(catalog, Mapping)
@@ -148,7 +158,8 @@ class EstimationServer:
             tenant_burst=self.config.tenant_burst,
         )
         self.ladder = DegradationLadder(self.config.policy)
-        self.cache = HistogramCache(self.config.cache_bytes)
+        self.store = store
+        self.cache = HistogramCache(self.config.cache_bytes, store=store)
         self.shard_pool = shard_pool
         self.batcher = MicroBatcher(
             batch_runner if batch_runner is not None else self._default_runner,
@@ -293,10 +304,10 @@ class EstimationServer:
             return value, "batch", ()
         if rung is ServiceRung.CACHED:
             level = max(1, request.level - self.config.policy.coarsen_by)
-            value = await loop.run_in_executor(
+            value, via = await loop.run_in_executor(
                 None, lambda: self._cached_coarse(request, ds1, ds2, level, deadline)
             )
-            return value, "local", ()
+            return value, via, ()
         # PARAMETRIC: four first-order statistics and a closed form —
         # microseconds, no deadline scope needed, cannot time out.
         value = await loop.run_in_executor(
@@ -311,16 +322,22 @@ class EstimationServer:
         ds2: SpatialDataset,
         level: int,
         deadline: Deadline | None,
-    ) -> float:
+    ) -> "tuple[float, str]":
         """The ``cached-coarse`` rung body (runs on an executor thread).
 
-        Builds (or derives via 2×2 pooling from a cached finer GH) both
-        sides at a coarser level through the shared cache, then runs the
-        O(cells) combine — all inside a fresh cooperative deadline scope,
-        because runtime scopes do not cross thread boundaries.
+        Builds (or derives via 2×2 pooling from a cached finer GH, or
+        mmap-loads from the attached artifact catalog) both sides at a
+        coarser level through the shared cache, then runs the O(cells)
+        combine — all inside a fresh cooperative deadline scope, because
+        runtime scopes do not cross thread boundaries.
+
+        Returns ``(selectivity, via)`` where ``via`` summarises the two
+        sides' sources honestly: ``"build"`` if any side scanned the
+        data, else ``"store"`` if any side came off the catalog, else
+        ``"local"`` (pure in-memory cache).
         """
         if len(ds1) == 0 or len(ds2) == 0:
-            return 0.0
+            return 0.0, "local"
         remaining = (
             Deadline(max(0.0, deadline.remaining)) if deadline is not None else None
         )
@@ -329,9 +346,17 @@ class EstimationServer:
                 f"datasets {ds1.name!r} and {ds2.name!r} must share a common extent"
             )
         with runtime_scope(deadline=remaining):
-            hist1 = self.cache.get_or_build(ds1, request.scheme, level, extent=ds1.extent)
-            hist2 = self.cache.get_or_build(ds2, request.scheme, level, extent=ds1.extent)
-            return float(hist1.estimate_selectivity(hist2))
+            hist1, src1 = self.cache.resolve(ds1, request.scheme, level, extent=ds1.extent)
+            hist2, src2 = self.cache.resolve(ds2, request.scheme, level, extent=ds1.extent)
+            value = float(hist1.estimate_selectivity(hist2))
+        sources = (src1, src2)
+        if "build" in sources:
+            via = "build"
+        elif any(src.startswith("store") for src in sources):
+            via = "store"
+        else:
+            via = "local"
+        return value, via
 
     def _default_runner(
         self, queries: Sequence[BatchQuery], budget_s: "float | None"
@@ -367,6 +392,8 @@ class EstimationServer:
             "batcher": self.batcher.stats.snapshot(),
             "cache": self.cache.stats.snapshot(),
         }
+        if self.store is not None:
+            payload["store"] = self.store.stats.snapshot()
         if self.shard_pool is not None:
             payload["shards"] = self.shard_pool.stats()
         return payload

@@ -47,6 +47,7 @@ to *different* shards proceed in parallel.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -58,7 +59,9 @@ from ..errors import EstimatorUnavailable, ShardUnavailableError
 from ..geometry import Rect
 from ..histograms import BasicGHHistogram, GHHistogram, PHHistogram
 from ..parallel.shm import DatasetMeta, SharedDataset, attach_dataset
+from ..perf.cache import HistogramCache
 from ..runtime import Deadline, runtime_scope
+from ..store import ArtifactCatalog, materialize_histogram
 
 __all__ = ["CircuitBreaker", "ShardStats", "ShardPool"]
 
@@ -172,16 +175,25 @@ def _shard_worker(
     conn: Any,
     metas: "list[DatasetMeta]",
     hook_factory: "Callable[[], Any] | None",
+    store_root: "str | None",
 ) -> None:
     """Body of one persistent shard worker process.
 
     Attaches its catalog slice over shared memory, then serves messages
-    until ``shutdown`` or pipe EOF.  Logical failures (bad scheme,
-    unknown dataset, build errors, deadline expiry) reply ``("error",
-    detail)`` and keep the worker alive; only process death (crash,
-    kill, injected ``BaseException``) is a supervision event.
+    until ``shutdown`` or pipe EOF.  When ``store_root`` is given the
+    worker opens the artifact catalog **read-only** at startup and
+    answers ``prepare`` from prebuilt mmap entries when one matches —
+    a warm start shares page-cache pages across every forked worker
+    instead of rebuilding per-process heap copies; only true misses pay
+    the build.  Logical failures (bad scheme, unknown dataset, build
+    errors, deadline expiry) reply ``("error", detail)`` and keep the
+    worker alive; only process death (crash, kill, injected
+    ``BaseException``) is a supervision event.
     """
     catalog = {meta[0]: attach_dataset(meta) for meta in metas}
+    store = (
+        ArtifactCatalog(store_root, read_only=True) if store_root is not None else None
+    )
     hook = hook_factory() if hook_factory is not None else None
     while True:
         try:
@@ -199,10 +211,21 @@ def _shard_worker(
         try:
             dataset = catalog[name]
             extent = Rect(*extent_tuple) if extent_tuple is not None else dataset.extent
-            deadline = Deadline(max(0.0, budget_s)) if budget_s is not None else None
-            with runtime_scope(deadline=deadline, hook=hook):
-                hist = _PREPARE[scheme](dataset, int(level), extent=extent)
-            conn.send(("ok", hist))
+            hist: Any = None
+            source = "build"
+            if store is not None and scheme in _PREPARE:
+                key = HistogramCache.key_for(dataset, scheme, int(level), extent)
+                stored = store.load_histogram(key)
+                if stored is not None:
+                    # The reply crosses a pipe (pickled), so detach from
+                    # the mmap; the load still skipped the O(data) build.
+                    hist = materialize_histogram(stored)
+                    source = "store"
+            if hist is None:
+                deadline = Deadline(max(0.0, budget_s)) if budget_s is not None else None
+                with runtime_scope(deadline=deadline, hook=hook):
+                    hist = _PREPARE[scheme](dataset, int(level), extent=extent)
+            conn.send(("ok", (hist, source)))
         # The reply channel is this worker's only way to surface a
         # failure; swallowing nothing, it reports everything and stays
         # alive for the next request (crash-only faults are
@@ -223,6 +246,7 @@ class ShardStats:
     failures: int = 0  #: crash/timeout/pipe failures (not logical errors)
     restarts: int = 0
     errors: int = 0  #: logical errors replied by a healthy worker
+    store_hits: int = 0  #: prepares answered from the worker's artifact catalog
 
     def snapshot(self) -> dict[str, int]:
         """Plain-dict view for reports and benchmark JSON."""
@@ -231,6 +255,7 @@ class ShardStats:
             "failures": self.failures,
             "restarts": self.restarts,
             "errors": self.errors,
+            "store_hits": self.store_hits,
         }
 
 
@@ -281,6 +306,12 @@ class ShardPool:
         runtime hook (fault injection for chaos tests).  Inherited over
         fork, so closures and shared ``multiprocessing.Value`` counters
         work.
+    store_root:
+        Optional :class:`~repro.store.ArtifactCatalog` root.  Each
+        worker opens it read-only at startup and serves ``prepare``
+        from prebuilt mmap entries when the key matches (counted in
+        ``ShardStats.store_hits``), falling back to building.  Prewarm
+        with ``python -m repro.store prewarm`` for warm cold-starts.
     clock:
         Monotonic clock for the breakers (tests inject a fake).
 
@@ -300,6 +331,7 @@ class ShardPool:
         cooldown_s: float = 0.05,
         max_cooldown_s: float = 5.0,
         worker_hook_factory: "Callable[[], Any] | None" = None,
+        store_root: "str | os.PathLike[str] | None" = None,
         clock: Clock = time.monotonic,
     ) -> None:
         datasets = (
@@ -321,6 +353,7 @@ class ShardPool:
         self._ctx = get_context("fork")
         self._clock = clock
         self._hook_factory = worker_hook_factory
+        self._store_root = os.fspath(store_root) if store_root is not None else None
         self._datasets = datasets
         self._exports: Dict[str, SharedDataset] = {}
         self._placement: Dict[str, int] = {
@@ -434,13 +467,19 @@ class ShardPool:
         shipped in the message and installed as a cooperative
         :class:`Deadline` inside the worker, so a slow build times out
         *in the worker* with the usual taxonomy instead of only at the
-        supervisor's pipe timeout.
+        supervisor's pipe timeout.  A worker attached to an artifact
+        catalog may answer from a prebuilt entry instead of building
+        (``ShardStats.store_hits``).
         """
         shard = self._shards[self.shard_for(name)]
         extent_tuple = extent.as_tuple() if extent is not None else None
-        return self._call(
+        hist, source = self._call(
             shard, ("prepare", name, scheme, int(level), extent_tuple, budget_s)
         )
+        if source == "store":
+            with shard.lock:
+                shard.stats.store_hits += 1
+        return hist
 
     def estimate(
         self,
@@ -484,6 +523,7 @@ class ShardPool:
             "restarts": sum(s.stats.restarts for s in self._shards),
             "failures": sum(s.stats.failures for s in self._shards),
             "breaker_opens": sum(s.breaker.opens_total for s in self._shards),
+            "store_hits": sum(s.stats.store_hits for s in self._shards),
             "shards": [
                 {
                     "shard_id": s.shard_id,
@@ -522,7 +562,7 @@ class ShardPool:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, shard.metas, self._hook_factory),
+            args=(child_conn, shard.metas, self._hook_factory, self._store_root),
             daemon=True,
             name=f"repro-serve-shard-{shard.shard_id}",
         )

@@ -1,0 +1,51 @@
+"""repro.store — the persistent memory-mapped artifact catalog.
+
+The paper's economics ("histograms are cheap *once built*") only hold
+if built artifacts survive the process that built them.  This package
+gives every estimator artifact — GH/PH/basic-GH histogram files and
+packed :class:`~repro.rtree.flat.FlatRTree` structures — a durable,
+content-addressed home on disk:
+
+* :class:`ArtifactCatalog` — one directory per artifact (raw ``.npy``
+  payloads + a JSON manifest with dtype/shape/params/checksums), keyed
+  by the same :mod:`repro.perf.fingerprint` identities the in-memory
+  caches use; loads are zero-copy ``np.load(mmap_mode="r")`` views and
+  publishes are crash-atomic (stage in ``tmp/``, fsync, rename);
+* an optional **L2 tier** under
+  :class:`~repro.perf.cache.HistogramCache` /
+  :class:`~repro.perf.cache.FlatTreeCache` (L1 miss → catalog mmap →
+  build + publish, GH levels derived from stored finer entries by the
+  exact 2×2 pooling);
+* **warm shard workers** —
+  :class:`~repro.serve.shards.ShardPool(store_root=...)` workers open
+  the catalog read-only and serve prebuilt histograms, sharing page
+  cache across forks instead of rebuilding per-process heap copies;
+* a CLI — ``python -m repro.store prewarm|list|verify|evict`` — to
+  build registry artifacts offline, audit checksums (and optionally
+  rebuild-and-compare), and trim to a byte budget LRU-first.
+
+``benchmarks/bench_store.py`` measures the payoff and commits it as
+``BENCH_store.json``.
+"""
+
+from .catalog import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    ArtifactCatalog,
+    StoreEntry,
+    StoreStats,
+    hist_entry_name,
+    tree_entry_name,
+)
+from .codec import materialize_histogram
+
+__all__ = [
+    "ArtifactCatalog",
+    "StoreEntry",
+    "StoreStats",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "hist_entry_name",
+    "tree_entry_name",
+    "materialize_histogram",
+]

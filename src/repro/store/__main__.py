@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.store``."""
+
+from .cli import main
+
+raise SystemExit(main())

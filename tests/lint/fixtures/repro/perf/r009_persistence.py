@@ -1,0 +1,36 @@
+"""Fixture: stray persistence writers — R009 at lines 9, 10, 11, 15, 19, 24."""
+
+import pickle
+
+import numpy as np
+
+
+def stray_numpy_writers(path, arr) -> None:
+    np.save(path, arr)
+    np.savez(path, arr=arr)
+    np.savez_compressed(path, arr=arr)
+
+
+def stray_pickle(path, obj) -> None:
+    pickle.dump(obj, path)
+
+
+def stray_binary_open(path, payload: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def keyword_mode_is_also_caught(path, payload: bytes) -> None:
+    with open(path, mode="xb") as handle:  # line 24: flagged too
+        handle.write(payload)
+
+
+def clean_readers_and_text(path) -> str:
+    # Reading (binary or not) and text-mode writes are not persistence
+    # of array artifacts — reports and CSVs stay allowed everywhere.
+    with open(path, "rb") as handle:
+        handle.read()
+    with open(path, "w") as handle:
+        handle.write("report\n")
+    data = np.load(path, mmap_mode="r")
+    return str(data)

@@ -1,0 +1,18 @@
+"""Fixture: the sanctioned writer module — every call here is R009-clean.
+
+Mirrors ``repro.store``'s publish path: inside the catalog package the
+single-writer rule does not apply, because this *is* the single writer.
+"""
+
+import pickle
+
+import numpy as np
+
+
+def publish(path, arr, manifest: bytes) -> None:
+    np.save(path, arr)
+    np.savez(path, arr=arr)
+    np.savez_compressed(path, arr=arr)
+    with open(path, "wb") as handle:
+        handle.write(manifest)
+    pickle.dump(arr, path)

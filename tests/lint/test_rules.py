@@ -185,6 +185,30 @@ class TestR008BlockingSleep:
         assert rules_hit(src / "faults.py", select=["R008"]) == []
 
 
+class TestR009SingleWriter:
+    def test_flags_stray_writers_at_exact_lines(self):
+        hits = rules_hit(PKG / "perf" / "r009_persistence.py")
+        assert hits == [
+            ("R009", 9), ("R009", 10), ("R009", 11),
+            ("R009", 15), ("R009", 19), ("R009", 24),
+        ]
+
+    def test_messages_point_at_the_catalog(self):
+        diags = lint_file(PKG / "perf" / "r009_persistence.py")
+        assert "np.save" in diags[0].message
+        assert "repro.store" in diags[0].message
+        assert "pickle.dump" in diags[3].message
+        assert "tmp-write/fsync/rename" in diags[4].message
+
+    def test_sanctioned_store_module_is_exempt(self):
+        assert rules_hit(PKG / "store" / "writer.py", select=["R009"]) == []
+
+    def test_live_src_tree_is_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        for name in ("eval/report.py", "serve/shards.py", "perf/cache.py"):
+            assert rules_hit(src / name, select=["R009"]) == []
+
+
 class TestCleanFixtureAndParseErrors:
     def test_clean_fixture_produces_no_diagnostics(self):
         assert rules_hit(PKG / "histograms" / "clean.py") == []
@@ -200,9 +224,10 @@ class TestCleanFixtureAndParseErrors:
 
 
 class TestRegistry:
-    def test_all_eight_domain_rules_registered(self):
+    def test_all_nine_domain_rules_registered(self):
         assert sorted(RULES) == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009",
         ]
 
     def test_rule_metadata_complete(self):

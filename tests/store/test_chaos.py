@@ -1,0 +1,123 @@
+"""Chaos tests for the atomic publish protocol: torn publishes leave
+nothing behind.
+
+The invariant (ISSUE 7, satellite): a fault at *any* checkpoint of
+``ArtifactCatalog._publish`` — mid array write, before the manifest,
+before the final rename — must leave ``objects/`` without a partial
+entry.  A torn artifact that a later process memory-maps would serve
+wrong numbers forever; the protocol's whole point is that an entry
+either exists complete (manifest last, rename atomic) or not at all.
+"""
+
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.histograms import GHHistogram
+from repro.histograms.file import histogram_parts
+from repro.perf import HistogramCache
+from repro.service import FaultPlan, FaultSpec, inject_faults
+from repro.store import ArtifactCatalog, MANIFEST_NAME, hist_entry_name
+from tests.conftest import random_rects
+
+pytestmark = pytest.mark.chaos
+
+STAGES = ("store.publish.write", "store.publish.manifest", "store.publish.rename")
+
+
+@pytest.fixture
+def dataset(rng):
+    return SpatialDataset("chaos", random_rects(rng, 120))
+
+
+@pytest.fixture
+def payload(dataset):
+    key = HistogramCache.key_for(dataset, "gh", 5)
+    return key, GHHistogram.build(dataset, 5)
+
+
+class TestPublishFaults:
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_fault_leaves_no_partial_artifact(self, tmp_path, payload, stage):
+        key, hist = payload
+        catalog = ArtifactCatalog(tmp_path / "store")
+        plan = FaultPlan([FaultSpec(stage, times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                catalog.put_histogram(key, hist)
+        assert plan.activations  # the fault really fired mid-publish
+        objects = catalog.root / "objects"
+        assert list(objects.iterdir()) == []  # nothing — complete or partial
+        assert catalog.load_histogram(key) is None
+        assert catalog.stats.publishes == 0
+
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_staging_debris_is_dropped_immediately(self, tmp_path, payload, stage):
+        key, hist = payload
+        catalog = ArtifactCatalog(tmp_path / "store")
+        plan = FaultPlan([FaultSpec(stage, times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                catalog.put_histogram(key, hist)
+        assert list((catalog.root / "tmp").iterdir()) == []
+
+    def test_recovery_publish_succeeds_and_is_bit_identical(self, tmp_path, payload):
+        key, hist = payload
+        catalog = ArtifactCatalog(tmp_path / "store")
+        plan = FaultPlan([FaultSpec("store.publish.rename", times=1)])
+        with inject_faults(plan):
+            with pytest.raises(Exception):
+                catalog.put_histogram(key, hist)
+        # Fault cleared: the same publish now lands, and the load equals
+        # the in-memory original bitwise.
+        assert catalog.put_histogram(key, hist)
+        loaded = catalog.load_histogram(key)
+        import numpy as np
+
+        scalars_a, stats_a = histogram_parts(hist)
+        scalars_b, stats_b = histogram_parts(loaded)
+        assert scalars_a == scalars_b
+        assert np.array_equal(stats_a, stats_b)
+
+    def test_fresh_catalog_sweeps_crashed_publisher_debris(self, tmp_path, payload):
+        key, hist = payload
+        root = tmp_path / "store"
+        # Simulate a publisher that died without its except-handler
+        # (SIGKILL): hand-plant staging debris, as _sweep_tmp would find.
+        debris = root / "tmp" / f"{hist_entry_name(key)}.999.0"
+        debris.mkdir(parents=True)
+        (debris / "stats.npy").write_bytes(b"partial")
+        catalog = ArtifactCatalog(root)
+        assert list((root / "tmp").iterdir()) == []
+        assert catalog.put_histogram(key, hist)
+        assert catalog.load_histogram(key) is not None
+
+
+class TestCacheTierUnderFaults:
+    def test_fault_hook_blocks_cache_publishes(self, tmp_path, dataset):
+        """A histogram built under an active fault hook may be poisoned;
+        the L2 tier must not persist it (mirroring the L1 no-retention
+        rule from the cache chaos suite)."""
+        catalog = ArtifactCatalog(tmp_path / "store")
+        cache = HistogramCache(store=catalog)
+        plan = FaultPlan([FaultSpec("never.fires", times=1)])
+        with inject_faults(plan):
+            hist, source = cache.resolve(dataset, "gh", 5)
+        assert source == "build"
+        assert hist is not None
+        assert catalog.entries() == []  # nothing persisted under the hook
+        # Hook gone: the same resolve publishes (L1 kept nothing either).
+        cache2 = HistogramCache(store=catalog)
+        cache2.resolve(dataset, "gh", 5)
+        assert len(catalog.entries()) == 1
+
+    def test_partial_entry_never_serves(self, tmp_path, payload):
+        """Belt-and-braces: hand-build the worst-case torn entry (arrays
+        present, manifest missing) and confirm it reads as a miss."""
+        key, hist = payload
+        writer = ArtifactCatalog(tmp_path / "store")
+        assert writer.put_histogram(key, hist)
+        entry = writer.root / "objects" / hist_entry_name(key)
+        (entry / MANIFEST_NAME).unlink()
+        reader = ArtifactCatalog(tmp_path / "store", read_only=True)
+        assert reader.load_histogram(key) is None
+        assert reader.stats.misses == 1

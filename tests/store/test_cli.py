@@ -1,0 +1,87 @@
+"""``python -m repro.store`` — the operational loop, end to end.
+
+One small prewarm feeds every other subcommand: list sees it, verify
+(checksums and full rebuild) certifies it, evict trims it, and a
+corrupted payload flips verify's exit code to 1.
+"""
+
+import json
+
+import pytest
+
+from repro.store.cli import main
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "store")
+
+
+def prewarm(root, *extra):
+    return main(
+        [
+            "prewarm",
+            "--root", root,
+            "--datasets", "CAR",
+            "--cardinality", "200",
+            "--levels", "4",
+            *extra,
+        ]
+    )
+
+
+class TestPrewarm:
+    def test_publishes_histograms_and_trees(self, root, capsys):
+        assert prewarm(root, "--trees") == 0
+        out = capsys.readouterr().out
+        assert "CAR gh h=4 (200 rects) published" in out
+        assert "tree str m=8 published" in out
+        assert "2 artifacts published" in out
+
+    def test_second_run_is_idempotent(self, root, capsys):
+        assert prewarm(root) == 0
+        assert prewarm(root) == 0
+        assert "0 artifacts published" in capsys.readouterr().out
+
+    def test_unknown_dataset_is_a_usage_error(self, root):
+        assert main(["prewarm", "--root", root, "--datasets", "nonesuch"]) == 2
+
+    def test_unknown_scheme_is_a_usage_error(self, root):
+        assert main(
+            ["prewarm", "--root", root, "--datasets", "CAR", "--schemes", "zh"]
+        ) == 2
+
+
+class TestListVerifyEvict:
+    def test_list_json_round_trips(self, root, capsys):
+        prewarm(root, "--trees")
+        capsys.readouterr()
+        assert main(["list", "--root", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {e["kind"] for e in payload} == {"gh", "flat_tree"}
+        assert all(e["source"]["dataset"] == "CAR" for e in payload)
+
+    def test_verify_rebuild_certifies_a_clean_catalog(self, root, capsys):
+        prewarm(root, "--trees")
+        assert main(["verify", "--root", root, "--rebuild"]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+    def test_verify_catches_flipped_bytes(self, root, tmp_path, capsys):
+        prewarm(root)
+        objects = tmp_path / "store" / "objects"
+        payload = next(objects.glob("gh.h04.*")) / "stats.npy"
+        raw = bytearray(payload.read_bytes())
+        raw[-1] ^= 0xFF
+        payload.write_bytes(bytes(raw))
+        assert main(["verify", "--root", root]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+    def test_evict_to_zero_empties_the_catalog(self, root, capsys):
+        prewarm(root, "--trees")
+        assert main(["evict", "--root", root, "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "2 removed, 0 bytes remain" in out
+        assert main(["list", "--root", root]) == 0
+
+    def test_negative_budget_is_a_usage_error(self, root):
+        assert main(["evict", "--root", root, "--max-bytes", "-1"]) == 2

@@ -1,0 +1,87 @@
+"""Property: publish → load is the identity, for every artifact kind.
+
+The acceptance-criterion gate for the catalog's bit-identity claim:
+over randomized rectangle sets, schemes, levels, packings and fan-outs,
+a histogram loaded back from disk has ``np.array_equal`` stat planes
+(and identical scalars), and a loaded tree joins to the *exact* same
+pair count as the freshly packed one.
+
+Hypothesis drives the shapes; each example builds its own throwaway
+catalog root (``tempfile`` in the body — ``tmp_path`` is function-scoped
+and would be reused across examples).
+"""
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import SpatialDataset
+from repro.geometry import RectArray
+from repro.histograms import BasicGHHistogram, GHHistogram, PHHistogram
+from repro.histograms.file import histogram_parts
+from repro.perf import FlatTreeCache, HistogramCache
+from repro.rtree import flat_join_count, flat_load_hilbert, flat_load_str
+from repro.store import ArtifactCatalog
+
+_SCHEMES = {"gh": GHHistogram, "ph": PHHistogram, "gh_basic": BasicGHHistogram}
+_PACKERS = {"str": flat_load_str, "hilbert": flat_load_hilbert}
+
+
+@st.composite
+def rect_arrays(draw, min_n=1, max_n=60):
+    n = draw(st.integers(min_n, max_n))
+    coord = st.floats(0.0, 1.0, allow_nan=False, width=32)
+    xs = [sorted((draw(coord), draw(coord))) for _ in range(n)]
+    ys = [sorted((draw(coord), draw(coord))) for _ in range(n)]
+    return RectArray(
+        np.array([x[0] for x in xs]),
+        np.array([y[0] for y in ys]),
+        np.array([x[1] for x in xs]),
+        np.array([y[1] for y in ys]),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rects=rect_arrays(),
+    scheme=st.sampled_from(sorted(_SCHEMES)),
+    level=st.integers(1, 6),
+)
+def test_histogram_roundtrip_is_identity(rects, scheme, level):
+    dataset = SpatialDataset("prop", rects)
+    built = _SCHEMES[scheme].build(dataset, level)
+    key = HistogramCache.key_for(dataset, scheme, level)
+    with tempfile.TemporaryDirectory() as root:
+        catalog = ArtifactCatalog(root)
+        assert catalog.put_histogram(key, built)
+        loaded = catalog.load_histogram(key)
+    assert type(loaded) is type(built)
+    scalars_a, stats_a = histogram_parts(built)
+    scalars_b, stats_b = histogram_parts(loaded)
+    assert scalars_a == scalars_b
+    assert np.array_equal(stats_a, stats_b)  # bitwise, NaN-free by construction
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rects=rect_arrays(min_n=2, max_n=80),
+    probe=rect_arrays(min_n=2, max_n=40),
+    packing=st.sampled_from(sorted(_PACKERS)),
+    max_entries=st.integers(2, 16),
+)
+def test_tree_roundtrip_preserves_exact_join_counts(
+    rects, probe, packing, max_entries
+):
+    built = _PACKERS[packing](rects, max_entries=max_entries)
+    key = FlatTreeCache.key_for(rects, packing, max_entries)
+    with tempfile.TemporaryDirectory() as root:
+        catalog = ArtifactCatalog(root)
+        assert catalog.put_tree(key, built)
+        loaded = catalog.load_tree(key)
+    probe_tree = flat_load_str(probe, max_entries=4)
+    assert flat_join_count(loaded, probe_tree) == flat_join_count(
+        built, probe_tree
+    )
+    for name, block in built.to_blocks().items():
+        assert np.array_equal(loaded.to_blocks()[name], block)
