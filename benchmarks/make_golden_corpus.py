@@ -36,6 +36,11 @@ def main() -> None:
     print(f"wrote {args.out}")
     for name, entry in corpus["pairs"].items():
         print(f"  {name}: count={entry['exact_count']} sel={entry['selectivity']:.3e}")
+        for pred_name, section in entry["predicates"].items():
+            print(
+                f"    {pred_name}: count={section['exact_count']} "
+                f"sel={section['selectivity']:.3e}"
+            )
 
 
 if __name__ == "__main__":

@@ -7,6 +7,14 @@ baselines with a regression margin.  The committed file
 ``tests/accuracy/golden_corpus.json`` is the contract; the ``pytest -m
 accuracy`` CI job replays it through :func:`check_corpus`.
 
+Since version 2 every pair also carries a ``predicates`` section: for
+each entry of :data:`repro.predicates.STANDARD_PREDICATES`, the exact
+pair count under that predicate (recomputed at check time through the
+predicate engines) and the error ceilings of that predicate's estimator
+family.  The ``intersects`` predicate entry doubles as a cross-gate —
+its count must equal the pair's top-level ``exact_count``, tying the
+predicate engines to the PBSM oracle inside the committed file itself.
+
 The estimators are fully deterministic given the spec (histograms and
 the parametric model are data-functions; the sampling entries carry a
 fixed seed), so any drift in a committed ``error_pct`` means an
@@ -30,11 +38,22 @@ from ..datasets import (
     make_grid_aligned,
     make_uniform,
 )
+from ..predicates import (
+    STANDARD_PREDICATES,
+    EndpointInequalityEstimator,
+    Inequality,
+    InflatedEstimator,
+    IntervalOverlap,
+    IntervalOverlapEstimator,
+    ParametricIntervalEstimator,
+    predicate_join_count,
+)
 from ..sampling import SamplingJoinEstimator
 
 __all__ = [
     "GOLDEN_PAIRS",
     "GOLDEN_ESTIMATORS",
+    "GOLDEN_PREDICATE_ESTIMATORS",
     "GoldenMismatch",
     "build_pair",
     "build_corpus",
@@ -43,7 +62,8 @@ __all__ = [
 
 #: Corpus version — bump when specs/estimators change shape, so a stale
 #: committed file fails loudly instead of comparing the wrong things.
-CORPUS_VERSION = 1
+#: Version 2 added the per-predicate sections.
+CORPUS_VERSION = 2
 
 #: Margin applied to measured errors when freezing baselines: a corpus
 #: entry allows ``error_pct <= measured * MARGIN_FACTOR + MARGIN_FLOOR``.
@@ -102,6 +122,49 @@ GOLDEN_ESTIMATORS: Mapping[str, Callable[[], object]] = {
 }
 
 
+#: The ε of the standard ``within_eps`` predicate (kept in lock-step
+#: with :data:`repro.predicates.STANDARD_PREDICATES` by the test suite).
+_GOLDEN_EPS = 0.05
+
+#: Predicate registry key -> estimator factories graded for it.  The
+#: ``intersects`` entry is empty on purpose: its section exists only for
+#: the count cross-gate (the intersection estimators are already graded
+#: at the top level).  ε and endpoint levels mirror the standard
+#: predicates; sampling entries reuse the seeded ``rs`` configuration.
+GOLDEN_PREDICATE_ESTIMATORS: Mapping[str, Mapping[str, Callable[[], object]]] = {
+    "intersects": {},
+    "within_eps": {
+        "inflated_gh6": lambda: InflatedEstimator(GHEstimator(level=6), _GOLDEN_EPS),
+        "inflated_ph5": lambda: InflatedEstimator(PHEstimator(level=5), _GOLDEN_EPS),
+        "inflated_parametric": lambda: InflatedEstimator(
+            ParametricEstimator(), _GOLDEN_EPS
+        ),
+        "rs_10": lambda: SamplingJoinEstimator(
+            "rs", 0.1, 0.1, seed=41, predicate=STANDARD_PREDICATES["within_eps"]
+        ),
+    },
+    "interval_x": {
+        "interval6": lambda: IntervalOverlapEstimator(IntervalOverlap("x"), level=6),
+        "interval3": lambda: IntervalOverlapEstimator(IntervalOverlap("x"), level=3),
+        "interval_parametric": lambda: ParametricIntervalEstimator(IntervalOverlap("x")),
+        "rs_10": lambda: SamplingJoinEstimator(
+            "rs", 0.1, 0.1, seed=41, predicate=IntervalOverlap("x")
+        ),
+    },
+    "ineq_lt_xmin": {
+        "endpoint6": lambda: EndpointInequalityEstimator(
+            Inequality("lt", "xmin"), level=6
+        ),
+        "endpoint3": lambda: EndpointInequalityEstimator(
+            Inequality("lt", "xmin"), level=3
+        ),
+        "rs_10": lambda: SamplingJoinEstimator(
+            "rs", 0.1, 0.1, seed=41, predicate=Inequality("lt", "xmin")
+        ),
+    },
+}
+
+
 def build_pair(name: str) -> tuple[SpatialDataset, SpatialDataset]:
     """Materialize one corpus pair by name."""
     return GOLDEN_PAIRS[name]()
@@ -115,12 +178,48 @@ def _exact_count(ds1: SpatialDataset, ds2: SpatialDataset, *, workers: int) -> i
     )
 
 
+def _grade_estimators(
+    factories: Mapping[str, Callable[[], object]],
+    ds1: SpatialDataset,
+    ds2: SpatialDataset,
+    actual: float,
+) -> dict:
+    """Measured ``error_pct`` / margin-applied ``max_error_pct`` per key."""
+    estimators = {}
+    for key, factory in factories.items():
+        estimator = factory()
+        error = relative_error_pct(estimator.estimate(ds1, ds2), actual)  # type: ignore[attr-defined]
+        estimators[key] = {
+            "error_pct": round(error, 4),
+            "max_error_pct": round(error * MARGIN_FACTOR + MARGIN_FLOOR, 4),
+        }
+    return estimators
+
+
+def _predicate_sections(ds1: SpatialDataset, ds2: SpatialDataset) -> dict:
+    """Per-predicate exact counts + estimator grades for one pair."""
+    n1, n2 = len(ds1), len(ds2)
+    sections = {}
+    for pred_name, predicate in STANDARD_PREDICATES.items():
+        count = predicate_join_count(ds1.rects, ds2.rects, predicate)
+        actual = count / (n1 * n2)
+        sections[pred_name] = {
+            "predicate_key": predicate.key,
+            "exact_count": count,
+            "selectivity": actual,
+            "estimators": _grade_estimators(
+                GOLDEN_PREDICATE_ESTIMATORS.get(pred_name, {}), ds1, ds2, actual
+            ),
+        }
+    return sections
+
+
 def build_corpus(*, workers: int = 1) -> dict:
     """Measure the corpus from scratch (what the regeneration script runs).
 
     Returns the JSON-ready document: exact counts plus per-estimator
     ``error_pct`` (measured) and ``max_error_pct`` (measured with the
-    regression margin applied).
+    regression margin applied), and the per-predicate sections.
     """
     pairs = {}
     for name in GOLDEN_PAIRS:
@@ -128,29 +227,98 @@ def build_corpus(*, workers: int = 1) -> dict:
         n1, n2 = len(ds1), len(ds2)
         count = _exact_count(ds1, ds2, workers=workers)
         actual = count / (n1 * n2)
-        estimators = {}
-        for key, factory in GOLDEN_ESTIMATORS.items():
-            error = relative_error_pct(factory().estimate(ds1, ds2), actual)
-            estimators[key] = {
-                "error_pct": round(error, 4),
-                "max_error_pct": round(error * MARGIN_FACTOR + MARGIN_FLOOR, 4),
-            }
         pairs[name] = {
             "n1": n1,
             "n2": n2,
             "exact_count": count,
             "selectivity": actual,
-            "estimators": estimators,
+            "estimators": _grade_estimators(GOLDEN_ESTIMATORS, ds1, ds2, actual),
+            "predicates": _predicate_sections(ds1, ds2),
         }
     return {"version": CORPUS_VERSION, "pairs": pairs}
+
+
+def _check_estimators(
+    name: str,
+    entry: dict,
+    factories: Mapping[str, Callable[[], object]],
+    ds1: SpatialDataset,
+    ds2: SpatialDataset,
+    actual: float,
+    mismatches: list[GoldenMismatch],
+    *,
+    prefix: str = "",
+) -> None:
+    """Re-grade one estimator table against its committed ceilings."""
+    for key, expected in entry["estimators"].items():
+        factory = factories.get(key)
+        if factory is None:
+            mismatches.append(
+                GoldenMismatch(name, prefix + key, expected["max_error_pct"], float("nan"))
+            )
+            continue
+        estimator = factory()
+        error = relative_error_pct(estimator.estimate(ds1, ds2), actual)  # type: ignore[attr-defined]
+        if error > expected["max_error_pct"]:
+            mismatches.append(
+                GoldenMismatch(
+                    name, prefix + key, expected["max_error_pct"], round(error, 4)
+                )
+            )
+
+
+def _check_predicates(
+    name: str,
+    entry: dict,
+    ds1: SpatialDataset,
+    ds2: SpatialDataset,
+    mismatches: list[GoldenMismatch],
+) -> None:
+    """Replay one pair's per-predicate sections.
+
+    Counts are recomputed through the predicate engines; the
+    ``intersects`` section additionally cross-gates against the pair's
+    top-level PBSM count.
+    """
+    n1, n2 = len(ds1), len(ds2)
+    for pred_name, section in entry.get("predicates", {}).items():
+        predicate = STANDARD_PREDICATES.get(pred_name)
+        if predicate is None or predicate.key != section.get("predicate_key"):
+            mismatches.append(
+                GoldenMismatch(name, f"{pred_name}.key", section["exact_count"], float("nan"))
+            )
+            continue
+        count = predicate_join_count(ds1.rects, ds2.rects, predicate)
+        if count != section["exact_count"]:
+            mismatches.append(
+                GoldenMismatch(name, f"{pred_name}.count", section["exact_count"], count)
+            )
+            continue  # grades below would be vs a wrong ground truth
+        if pred_name == "intersects" and count != entry["exact_count"]:
+            mismatches.append(
+                GoldenMismatch(name, "intersects.cross", entry["exact_count"], count)
+            )
+            continue
+        _check_estimators(
+            name,
+            section,
+            GOLDEN_PREDICATE_ESTIMATORS.get(pred_name, {}),
+            ds1,
+            ds2,
+            count / (n1 * n2),
+            mismatches,
+            prefix=f"{pred_name}.",
+        )
 
 
 def check_corpus(corpus: dict, *, workers: int = 1) -> list[GoldenMismatch]:
     """Replay a committed corpus; return every violated expectation.
 
     Checks, per pair: dataset sizes, the exact count (recomputed through
-    the oracle with ``workers``), and that each estimator's current
-    relative error stays within its committed ``max_error_pct``.
+    the oracle with ``workers``), that each estimator's current relative
+    error stays within its committed ``max_error_pct``, and every
+    per-predicate section (counts via the predicate engines, grades via
+    the predicate estimators, the intersects count cross-gate).
     """
     if corpus.get("version") != CORPUS_VERSION:
         raise ValueError(
@@ -171,14 +339,6 @@ def check_corpus(corpus: dict, *, workers: int = 1) -> list[GoldenMismatch]:
             )
             continue  # errors below would be vs a wrong ground truth
         actual = count / (entry["n1"] * entry["n2"])
-        for key, expected in entry["estimators"].items():
-            factory = GOLDEN_ESTIMATORS.get(key)
-            if factory is None:
-                mismatches.append(GoldenMismatch(name, key, expected["max_error_pct"], float("nan")))
-                continue
-            error = relative_error_pct(factory().estimate(ds1, ds2), actual)
-            if error > expected["max_error_pct"]:
-                mismatches.append(
-                    GoldenMismatch(name, key, expected["max_error_pct"], round(error, 4))
-                )
+        _check_estimators(name, entry, GOLDEN_ESTIMATORS, ds1, ds2, actual, mismatches)
+        _check_predicates(name, entry, ds1, ds2, mismatches)
     return mismatches

@@ -13,8 +13,14 @@ from .predicates import (
     count_edge_crossings,
     intersection_points,
     intersection_rect,
+    intervals_overlap,
+    min_distance,
+    pairwise_gap_squared,
     pairwise_intersection_mask,
+    pairwise_interval_overlap_mask,
+    pairwise_within_distance_mask,
     rects_intersect,
+    rects_within_distance,
 )
 from .rect import Rect
 from .rectarray import RectArray
@@ -30,6 +36,12 @@ __all__ = [
     "count_corner_containments",
     "count_edge_crossings",
     "pairwise_intersection_mask",
+    "min_distance",
+    "rects_within_distance",
+    "intervals_overlap",
+    "pairwise_gap_squared",
+    "pairwise_within_distance_mask",
+    "pairwise_interval_overlap_mask",
     "common_extent",
     "pad_extent",
     "normalize_to_unit",

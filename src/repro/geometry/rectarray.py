@@ -251,6 +251,28 @@ class RectArray:
             self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy, validate=False
         )
 
+    def inflate(self, margin: float) -> "RectArray":
+        """Every rectangle grown by ``margin`` on all four sides.
+
+        The bulk analogue of :meth:`Rect.buffer` for non-negative
+        margins — the MBR-inflation step of the ε-distance join: two
+        rectangles are within L∞ distance ε iff one of them inflated by
+        ε intersects the other (closed).  ``margin`` must be finite so
+        the inflated coordinates stay joinable (R-tree sentinel padding
+        relies on finite entries); a zero margin returns an equal array
+        (``x + 0.0 == x``), keeping the ε = 0 join bit-identical to the
+        plain intersection join.
+        """
+        if not (margin >= 0.0 and np.isfinite(margin)):
+            raise ValueError(f"margin must be finite and non-negative, got {margin!r}")
+        return RectArray(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+            validate=False,
+        )
+
     def scale(self, sx: float, sy: float | None = None) -> "RectArray":
         """Every rectangle scaled about the origin (``sy`` defaults to ``sx``)."""
         if sy is None:

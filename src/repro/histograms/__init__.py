@@ -10,6 +10,7 @@
   kept for the worked examples and ablations.
 """
 
+from .endpoint import EndpointHistogram, endpoint_inequality_estimate
 from .gh import GHHistogram, gh_selectivity
 from .gh_basic import BasicGHHistogram, gh_basic_selectivity
 from .grid import MAX_LEVEL, CellOverlap, Grid
@@ -28,6 +29,8 @@ from .range_query import range_count_gh, range_count_parametric, range_count_ph
 from .scatter import add_at_baseline, scatter_add
 
 __all__ = [
+    "EndpointHistogram",
+    "endpoint_inequality_estimate",
     "apply_updates",
     "merge_histograms",
     "range_count_gh",

@@ -1,0 +1,153 @@
+"""Endpoint histograms for inequality-join selectivity.
+
+The 1-D analogue of the paper's histogram files, after "Selectivity
+Estimation of Inequality Joins" (arXiv 2206.07396): summarize one
+endpoint column (e.g. every ``xmin``) of a dataset by an equi-width
+bucket histogram, then estimate ``P(a <op> b)`` for two such histograms
+sharing a bucket grid.
+
+With ``f_A[i]``/``f_B[i]`` the fraction of each side's values in bucket
+``i``, and assuming within-bucket uniformity (values in the same bucket
+are effectively continuous, so ties have measure zero),
+
+    P(a < b)  ≈  Σ_i f_A[i] · ( Σ_{j>i} f_B[j]  +  f_B[i] / 2 )
+
+— values of ``b`` in strictly higher buckets always win; within the
+shared bucket, half the mass does.  Under the continuous model
+``le ≡ lt`` and ``P(a > b) = 1 − P(a < b)``, which this module computes
+literally (``gt``/``ge`` return one minus the ``lt`` expression), so the
+complement identity ``est(lt) + est(ge) = 1`` holds *bit-exactly* — the
+estimator-level mirror of the exact engines' ``count(lt) + count(ge) =
+|A|·|B|``.
+
+The interval-overlap estimator composes two of these per side
+(:mod:`repro.predicates.estimators`):
+
+    P(overlap)  =  1 − P(a.hi < b.lo) − P(b.hi < a.lo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime import checkpoint
+
+__all__ = ["EndpointHistogram", "endpoint_inequality_estimate"]
+
+#: Operators the estimate understands (continuous model: le ≡ lt, ge ≡ gt).
+_OPS = ("lt", "le", "gt", "ge")
+
+
+@dataclass(frozen=True)
+class EndpointHistogram:
+    """Equi-width histogram of one endpoint column over ``[lo, hi]``.
+
+    ``counts`` holds one float64 per bucket; values outside the range
+    clamp into the boundary buckets (the histogram stays a probability
+    mass function over its own grid).  Two histograms combine only when
+    their grids match exactly — same ``lo``, ``hi``, bucket count — the
+    same contract GH/PH enforce on their 2-D grids.
+    """
+
+    lo: float
+    hi: float
+    count: int  #: dataset cardinality the counts were drawn from
+    counts: np.ndarray  #: per-bucket value counts, float64
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, values: np.ndarray, level: int, *, lo: float, hi: float
+    ) -> "EndpointHistogram":
+        """Histogram ``values`` into ``2**level`` buckets over ``[lo, hi]``.
+
+        ``level`` mirrors the 2-D gridding levels (level 0 is a single
+        bucket — the closed-form floor); a zero-width range degenerates
+        to every value in bucket 0.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        if not (np.isfinite(lo) and np.isfinite(hi) and lo <= hi):
+            raise ValueError(f"invalid histogram range [{lo!r}, {hi!r}]")
+        buckets = 2**level
+        vals = np.asarray(values, dtype=np.float64)
+        counts = np.zeros(buckets, dtype=np.float64)
+        if len(vals):
+            checkpoint("endpoint.build.bucketize")
+            width = hi - lo
+            if width > 0.0:
+                idx = np.floor((vals - lo) / width * buckets).astype(np.int64)
+                idx = np.clip(idx, 0, buckets - 1)
+            else:
+                idx = np.zeros(len(vals), dtype=np.int64)
+            np.add.at(counts, idx, 1.0)
+        return cls(lo=lo, hi=hi, count=len(vals), counts=counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def buckets(self) -> int:
+        """Number of buckets (``2**level``)."""
+        return len(self.counts)
+
+    @property
+    def size_bytes(self) -> int:
+        """Histogram-file size: one float per bucket."""
+        return 8 * self.buckets
+
+    def fractions(self) -> np.ndarray:
+        """Per-bucket probability mass (zeros for an empty histogram)."""
+        if self.count == 0:
+            return np.zeros(self.buckets, dtype=np.float64)
+        result: np.ndarray = self.counts / float(self.count)
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_grid(self, other: "EndpointHistogram") -> None:
+        if (self.lo, self.hi, self.buckets) != (other.lo, other.hi, other.buckets):
+            raise ValueError(
+                "endpoint histograms must share the same bucket grid "
+                f"([{self.lo}, {self.hi}] × {self.buckets} vs "
+                f"[{other.lo}, {other.hi}] × {other.buckets})"
+            )
+
+    def _less_mass(self, other: "EndpointHistogram") -> float:
+        """The ``P(a < b)`` formula — the single expression all ops share."""
+        fa = self.fractions()
+        fb = other.fractions()
+        below = np.concatenate((np.zeros(1, dtype=np.float64), np.cumsum(fb)[:-1]))
+        above = 1.0 - below - fb
+        return float(np.sum(fa * (above + 0.5 * fb)))
+
+    def estimate_inequality(self, other: "EndpointHistogram", op: str) -> float:
+        """Estimated ``P(a <op> b)`` for ``a ~ self``, ``b ~ other``.
+
+        Returns 0 when either side is empty (the join has no pairs).
+        ``gt``/``ge`` are computed as ``1 − P(a < b)`` so the complement
+        identity is exact by construction.
+        """
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {_OPS}, got {op!r}")
+        self._check_grid(other)
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        less = self._less_mass(other)
+        if op in ("lt", "le"):
+            return less
+        return 1.0 - less
+
+
+def endpoint_inequality_estimate(
+    values1: np.ndarray,
+    values2: np.ndarray,
+    level: int,
+    op: str,
+    *,
+    lo: float,
+    hi: float,
+) -> float:
+    """One-shot estimate: build both endpoint histograms, then combine."""
+    h1 = EndpointHistogram.build(values1, level, lo=lo, hi=hi)
+    h2 = EndpointHistogram.build(values2, level, lo=lo, hi=hi)
+    return h1.estimate_inequality(h2, op)

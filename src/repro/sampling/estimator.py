@@ -41,6 +41,7 @@ from .pickers import SAMPLING_METHODS, pick_sample_indices
 
 if TYPE_CHECKING:
     from ..perf.cache import FlatTreeCache
+    from ..predicates.base import JoinPredicate
 
 __all__ = [
     "SampleJoinTiming",
@@ -125,6 +126,14 @@ class SamplingJoinEstimator:
         "Est. Time 2" scenario where the full-dataset trees already
         exist) then reuses bulk loads instead of repeating them.  Keys
         are content-addressed, so hits cross estimator instances.
+    predicate:
+        Optional :class:`~repro.predicates.JoinPredicate`.  The sample
+        join then counts pairs under that predicate via its exact engine
+        (:func:`repro.predicates.joins.predicate_join_count`) — the
+        scale-up argument is predicate-free, so the same ``R / (n₁·n₂)``
+        read-off estimates any predicate's selectivity.  ``None`` (and
+        the ``Intersects`` predicate) keep the original intersection
+        path untouched, bit for bit.
     """
 
     def __init__(
@@ -137,6 +146,7 @@ class SamplingJoinEstimator:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         join_method: str = "flat",
         tree_cache: "FlatTreeCache | None" = None,
+        predicate: "JoinPredicate | None" = None,
     ) -> None:
         if method not in SAMPLING_METHODS:
             raise ValueError(f"unknown sampling method {method!r}")
@@ -147,6 +157,8 @@ class SamplingJoinEstimator:
             raise ValueError(
                 f"join_method must be 'flat', 'rtree' or 'sweep', got {join_method!r}"
             )
+        if predicate is not None and not hasattr(predicate, "pair_mask"):
+            raise TypeError(f"predicate must be a JoinPredicate, got {predicate!r}")
         self.method = method
         self.fraction1 = fraction1
         self.fraction2 = fraction2
@@ -154,11 +166,17 @@ class SamplingJoinEstimator:
         self.max_entries = max_entries
         self.join_method = join_method
         self.tree_cache = tree_cache
+        self.predicate = predicate
+
+    def _predicate_active(self) -> bool:
+        """Whether the sample join must run a non-default predicate."""
+        return self.predicate is not None and self.predicate.key != "intersects"
 
     def __repr__(self) -> str:
+        extra = f", predicate={self.predicate!r}" if self._predicate_active() else ""
         return (
             f"SamplingJoinEstimator(method={self.method!r}, "
-            f"fractions=({self.fraction1}, {self.fraction2}))"
+            f"fractions=({self.fraction1}, {self.fraction2}){extra})"
         )
 
     # ------------------------------------------------------------------
@@ -184,7 +202,24 @@ class SamplingJoinEstimator:
         sample2 = ds2.rects[idx2]
         t1 = time.perf_counter()
         checkpoint("sampling.build")
-        if self.join_method == "flat":
+        predicate = self.predicate
+        if predicate is not None and predicate.key != "intersects":
+            # Predicate joins run sort-based or refined-tree engines with
+            # no reusable tree artifact: no build stage to time.
+            from ..predicates.joins import (  # sampling → predicates, lazy: no cycle
+                predicate_join_count,
+                supported_join_methods,
+            )
+
+            engine = (
+                self.join_method
+                if self.join_method in supported_join_methods(predicate)
+                else "auto"
+            )
+            t2 = time.perf_counter()
+            checkpoint("sampling.join")
+            pairs = predicate_join_count(sample1, sample2, predicate, method=engine)
+        elif self.join_method == "flat":
             flat1 = self._build_flat(sample1)
             flat2 = self._build_flat(sample2)
             t2 = time.perf_counter()
@@ -269,6 +304,11 @@ class SamplingJoinEstimator:
             )
             for run in range(repeats)
         ]
+        if self.predicate is not None:
+            # Predicates are frozen dataclasses — they pickle into the
+            # pool-worker configs like any other scalar parameter.
+            for config in configs:
+                config["predicate"] = self.predicate
         if self.tree_cache is not None:
             # Serial replicas share the cache (identical re-picked rects —
             # e.g. a repeated seed, or the key content-matching an existing

@@ -129,7 +129,20 @@ def default_fallback_chain(
     Each hop trades accuracy for cost and for independence from the
     failed rung's machinery; the parametric closed form terminates every
     chain because it needs nothing but four first-order statistics.
+
+    Predicate-aware primaries (an inflated/endpoint/interval estimator,
+    or a sampling estimator configured with a non-default predicate)
+    degrade down the matching predicate-aware ladder
+    (:func:`repro.predicates.estimators.predicate_fallback_chain`) — a
+    fallback must answer the *same question* as the rung it replaces.
     """
+    from ..predicates.estimators import (  # service → predicates, lazy: no cycle
+        predicate_fallback_chain,
+        predicate_of,
+    )
+
+    if predicate_of(primary) is not None:
+        return predicate_fallback_chain(primary)
     rungs: list[JoinSelectivityEstimator] = [primary]
     if isinstance(primary, (GHEstimator, BasicGHEstimator)):
         coarser = max(1, primary.level - _COARSEN_BY)

@@ -171,3 +171,132 @@ def test_confidence_interval_invariant_in_distribution(pairs):
     base = est.estimate_with_confidence(ds1, ds2, repeats=5)
     moved = est.estimate_with_confidence(transform(ds1), transform(ds2), repeats=5)
     assert base == moved
+
+
+# ----------------------------------------------------------------------
+# Predicate-aware metamorphic suite.
+#
+# A transform T of the *data* preserves the join only together with the
+# matching transform of the *predicate* (the algebra on JoinPredicate):
+# translation keeps every predicate, power-of-two scaling rescales ε
+# with the data, an axis swap maps x-predicates to y-predicates.  The
+# exact engines must then reproduce the count exactly; the estimators
+# are held to the same tolerance tiers as the intersection ones.
+# ----------------------------------------------------------------------
+
+from repro.predicates import (  # noqa: E402  (suite-local extension)
+    STANDARD_PREDICATES,
+    Inequality,
+    WithinDistance,
+    create_predicate_estimator,
+    predicate_join_count,
+)
+
+#: transform name → the matching predicate transform.
+_PREDICATE_TRANSFORMS = {
+    "translate": lambda p: p.translated(0.5, -0.25),
+    "scale_pow2": lambda p: p.scaled(4.0),
+    "swap_axes": lambda p: p.swapped_axes(),
+}
+
+
+@pytest.mark.parametrize("pred_name", sorted(STANDARD_PREDICATES))
+@pytest.mark.parametrize("transform_name", sorted(TRANSFORMS))
+def test_exact_counts_invariant_under_paired_transforms(pairs, pred_name, transform_name):
+    """(T(data), T(predicate)) preserves the exact join count — for every
+    standard predicate, every transform, every matrix pair."""
+    transform, _ = TRANSFORMS[transform_name]
+    predicate = STANDARD_PREDICATES[pred_name]
+    moved_predicate = _PREDICATE_TRANSFORMS[transform_name](predicate)
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = predicate_join_count(ds1.rects, ds2.rects, predicate)
+        moved = predicate_join_count(
+            transform(ds1).rects, transform(ds2).rects, moved_predicate
+        )
+        assert base == moved, f"{pred_name} under {transform_name} on {pair_name}"
+        assert base > 0, f"{pair_name}: degenerate baseline"
+
+
+@pytest.mark.parametrize(
+    "pred_name", ["within_eps", "interval_x", "ineq_lt_xmin"]
+)
+@pytest.mark.parametrize("transform_name", sorted(TRANSFORMS))
+def test_predicate_estimators_invariant(pairs, pred_name, transform_name):
+    """Each predicate's estimator family (inflated GH, interval and
+    endpoint histograms) is invariant under the paired transforms, at
+    the transform's tolerance tier."""
+    transform, rel_tol = TRANSFORMS[transform_name]
+    predicate = STANDARD_PREDICATES[pred_name]
+    moved_predicate = _PREDICATE_TRANSFORMS[transform_name](predicate)
+    base_estimator = create_predicate_estimator("gh", predicate, level=6)
+    moved_estimator = create_predicate_estimator("gh", moved_predicate, level=6)
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = base_estimator.estimate(ds1, ds2)
+        moved = moved_estimator.estimate(transform(ds1), transform(ds2))
+        assert base > 0, f"{pair_name}: degenerate baseline"
+        assert math.isclose(base, moved, rel_tol=rel_tol), (
+            f"{pred_name} estimator not invariant under {transform_name} on "
+            f"{pair_name}: {base} vs {moved}"
+        )
+
+
+@pytest.mark.parametrize("pred_name", sorted(STANDARD_PREDICATES))
+@pytest.mark.parametrize("transform_name", ["scale_pow2", "swap_axes"])
+def test_sampling_with_predicate_bit_identical_under_exact_transforms(
+    pairs, pred_name, transform_name
+):
+    """Exact transforms with the paired predicate: same seed → same
+    sample ids → the predicate-aware sample join count is bit-identical."""
+    transform, _ = TRANSFORMS[transform_name]
+    predicate = STANDARD_PREDICATES[pred_name]
+    moved_predicate = _PREDICATE_TRANSFORMS[transform_name](predicate)
+    base_est = SamplingJoinEstimator("rs", 0.3, 0.3, seed=17, predicate=predicate)
+    moved_est = SamplingJoinEstimator("rs", 0.3, 0.3, seed=17, predicate=moved_predicate)
+    for pair_name, (ds1, ds2) in pairs.items():
+        base = base_est.estimate(ds1, ds2)
+        moved = moved_est.estimate(transform(ds1), transform(ds2))
+        assert base == moved, f"{pred_name} under {transform_name} on {pair_name}"
+
+
+# -- documented non-invariances ----------------------------------------
+# The predicate docstrings call these out; regression-test that they
+# stay *non*-invariant (a future "fix" silently changing the semantics
+# should trip these).
+
+
+def test_unswapped_inequality_changes_under_axis_swap(pairs):
+    """Keeping the same Inequality while swapping the data's axes asks a
+    different question (it now compares what used to be y-endpoints);
+    on asymmetric data the count must change."""
+    ds1, ds2 = pairs["uniform_x_clustered"]
+    predicate = Inequality("lt", "xmin")
+    base = predicate_join_count(ds1.rects, ds2.rects, predicate)
+    moved = predicate_join_count(
+        swap_axes(ds1).rects, swap_axes(ds2).rects, predicate
+    )
+    # The clustered side centers at (0.4, 0.7): its xmin and ymin
+    # distributions differ, so the unswapped predicate cannot agree.
+    assert base != moved
+    # The paired transform restores the count exactly.
+    assert (
+        predicate_join_count(
+            swap_axes(ds1).rects, swap_axes(ds2).rects, predicate.swapped_axes()
+        )
+        == base
+    )
+
+
+def test_unscaled_epsilon_changes_under_scaling(pairs):
+    """Scaling the data 4x while keeping ε fixed shrinks the join: ε is
+    an absolute distance, not a relative one."""
+    ds1, ds2 = pairs["uniform_x_clustered"]
+    predicate = WithinDistance(0.05)
+    base = predicate_join_count(ds1.rects, ds2.rects, predicate)
+    scaled1, scaled2 = scale(ds1, 4.0), scale(ds2, 4.0)
+    moved = predicate_join_count(scaled1.rects, scaled2.rects, predicate)
+    assert moved < base
+    # The paired transform (ε -> 4ε) restores the count exactly.
+    assert (
+        predicate_join_count(scaled1.rects, scaled2.rects, predicate.scaled(4.0))
+        == base
+    )

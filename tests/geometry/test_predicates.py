@@ -1,6 +1,7 @@
 """Unit tests for geometry predicates beyond the Figure 2 case table."""
 
 import numpy as np
+import pytest
 
 from repro.geometry import (
     Rect,
@@ -9,8 +10,14 @@ from repro.geometry import (
     count_edge_crossings,
     intersection_points,
     intersection_rect,
+    intervals_overlap,
+    min_distance,
+    pairwise_gap_squared,
     pairwise_intersection_mask,
+    pairwise_interval_overlap_mask,
+    pairwise_within_distance_mask,
     rects_intersect,
+    rects_within_distance,
 )
 from tests.conftest import random_rects
 
@@ -69,3 +76,117 @@ class TestPairwiseMask:
     def test_mask_dtype_is_bool(self, rng):
         a = random_rects(rng, 5)
         assert pairwise_intersection_mask(a, a).dtype == np.bool_
+
+
+# Distance table: (a, b, exact minimum L2 distance), all values exactly
+# representable so boundary comparisons are not rounding accidents.
+_DISTANCE_CASES = [
+    ("overlapping", Rect(0, 0, 2, 2), Rect(1, 1, 3, 3), 0.0),
+    ("touching_edge", Rect(0, 0, 1, 1), Rect(1, 0, 2, 1), 0.0),
+    ("touching_corner", Rect(0, 0, 1, 1), Rect(1, 1, 2, 2), 0.0),
+    ("axis_gap", Rect(0, 0, 1, 1), Rect(1.5, 0, 2.5, 1), 0.5),
+    ("vertical_gap", Rect(0, 0, 1, 1), Rect(0, 3, 1, 4), 2.0),
+    ("diagonal_345", Rect(0, 0, 1, 1), Rect(4, 5, 5, 6), 5.0),
+    ("point_to_point", Rect(0, 0, 0, 0), Rect(0.5, 0, 0.5, 0), 0.5),
+    ("point_inside", Rect(0.25, 0.25, 0.25, 0.25), Rect(0, 0, 1, 1), 0.0),
+]
+
+
+class TestDistancePredicates:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [case[1:] for case in _DISTANCE_CASES],
+        ids=[case[0] for case in _DISTANCE_CASES],
+    )
+    def test_min_distance_table(self, a, b, expected):
+        assert min_distance(a, b) == expected
+        assert min_distance(b, a) == expected  # symmetric
+        # Closed semantics at the boundary: exactly-ε qualifies...
+        assert rects_within_distance(a, b, expected)
+        # ...and zero iff intersecting.
+        assert (expected == 0.0) == rects_intersect(a, b)
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [case[1:] for case in _DISTANCE_CASES if case[3] > 0],
+        ids=[case[0] for case in _DISTANCE_CASES if case[3] > 0],
+    )
+    def test_within_distance_strictly_below(self, a, b, expected):
+        assert not rects_within_distance(a, b, expected / 2.0)
+        assert not rects_within_distance(a, b, 0.0)
+
+    def test_eps_zero_is_the_intersection_test(self, rng):
+        a, b = random_rects(rng, 30), random_rects(rng, 30)
+        for i in range(30):
+            assert rects_within_distance(a[i], b[i], 0.0) == a[i].intersects(b[i])
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError, match="eps"):
+            rects_within_distance(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3), -0.5)
+        with pytest.raises(ValueError, match="eps"):
+            pairwise_within_distance_mask(RectArray.empty(), RectArray.empty(), -1.0)
+
+    def test_pairwise_gap_squared_matches_scalar(self, rng):
+        a, b = random_rects(rng, 25), random_rects(rng, 20)
+        gaps = pairwise_gap_squared(a, b)
+        assert gaps.shape == (25, 20)
+        for i in range(25):
+            for j in range(20):
+                assert gaps[i, j] == pytest.approx(min_distance(a[i], b[j]) ** 2)
+
+    def test_pairwise_within_mask_matches_scalar(self, rng):
+        a, b = random_rects(rng, 25), random_rects(rng, 20)
+        for eps in (0.0, 0.01, 0.1):
+            mask = pairwise_within_distance_mask(a, b, eps)
+            assert mask.dtype == np.bool_
+            for i in range(25):
+                for j in range(20):
+                    assert mask[i, j] == rects_within_distance(a[i], b[j], eps)
+
+
+# Interval table: closed overlap — shared endpoints count.
+_INTERVAL_CASES = [
+    ("overlap", (0.0, 2.0), (1.0, 3.0), True),
+    ("shared_endpoint", (0.0, 1.0), (1.0, 2.0), True),
+    ("disjoint", (0.0, 1.0), (1.5, 2.5), False),
+    ("nested", (0.0, 4.0), (1.0, 2.0), True),
+    ("identical", (0.5, 1.5), (0.5, 1.5), True),
+    ("point_on_boundary", (0.0, 1.0), (1.0, 1.0), True),
+    ("point_outside", (0.0, 1.0), (1.5, 1.5), False),
+    ("coincident_points", (0.5, 0.5), (0.5, 0.5), True),
+]
+
+
+class TestIntervalPredicates:
+    @pytest.mark.parametrize(
+        "first, second, expected",
+        [case[1:] for case in _INTERVAL_CASES],
+        ids=[case[0] for case in _INTERVAL_CASES],
+    )
+    def test_intervals_overlap_table(self, first, second, expected):
+        assert intervals_overlap(*first, *second) is expected
+        assert intervals_overlap(*second, *first) is expected  # symmetric
+
+    @pytest.mark.parametrize("axis", ["x", "y"])
+    def test_pairwise_interval_mask_matches_scalar(self, rng, axis):
+        a, b = random_rects(rng, 25), random_rects(rng, 20)
+        mask = pairwise_interval_overlap_mask(a, b, axis)
+        assert mask.dtype == np.bool_
+        for i in range(25):
+            for j in range(20):
+                ra, rb = a[i], b[j]
+                if axis == "x":
+                    expected = intervals_overlap(ra.xmin, ra.xmax, rb.xmin, rb.xmax)
+                else:
+                    expected = intervals_overlap(ra.ymin, ra.ymax, rb.ymin, rb.ymax)
+                assert mask[i, j] == expected
+
+    def test_interval_mask_bad_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            pairwise_interval_overlap_mask(RectArray.empty(), RectArray.empty(), "z")
+
+    def test_interval_masks_compose_to_intersection(self, rng):
+        """x-overlap AND y-overlap == rectangle intersection, elementwise."""
+        a, b = random_rects(rng, 30), random_rects(rng, 30)
+        composed = pairwise_interval_overlap_mask(a, b, "x") & pairwise_interval_overlap_mask(a, b, "y")
+        np.testing.assert_array_equal(composed, pairwise_intersection_mask(a, b))

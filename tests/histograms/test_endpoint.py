@@ -1,0 +1,122 @@
+"""Unit tests for the 1-D endpoint histograms (inequality selectivity)."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import EndpointHistogram, endpoint_inequality_estimate
+
+
+def _build(values, level=3, lo=0.0, hi=1.0):
+    return EndpointHistogram.build(np.asarray(values, dtype=np.float64), level, lo=lo, hi=hi)
+
+
+def test_build_basic_shape():
+    h = _build([0.1, 0.2, 0.9], level=3)
+    assert h.buckets == 8
+    assert h.count == 3
+    assert h.size_bytes == 64
+    assert h.counts.dtype == np.float64
+    assert h.counts.sum() == 3.0
+    np.testing.assert_allclose(h.fractions().sum(), 1.0)
+
+
+def test_bucket_placement_and_clamping():
+    # Bucket width 1/4; out-of-range values clamp into boundary buckets,
+    # and hi itself lands in the last bucket (not one past it).
+    h = _build([-5.0, 0.0, 0.26, 0.99, 1.0, 42.0], level=2)
+    np.testing.assert_array_equal(h.counts, [2.0, 1.0, 0.0, 3.0])
+
+
+def test_zero_width_range_degenerates_to_bucket_zero():
+    h = _build([0.5, 0.5, 0.7], level=3, lo=0.5, hi=0.5)
+    assert h.counts[0] == 3.0
+    assert h.counts[1:].sum() == 0.0
+
+
+def test_level_zero_single_bucket():
+    h = _build([0.1, 0.9], level=0)
+    assert h.buckets == 1
+    np.testing.assert_array_equal(h.counts, [2.0])
+
+
+def test_build_validation():
+    with pytest.raises(ValueError, match="level"):
+        _build([0.5], level=-1)
+    with pytest.raises(ValueError, match="range"):
+        _build([0.5], lo=1.0, hi=0.0)
+    with pytest.raises(ValueError, match="range"):
+        _build([0.5], lo=0.0, hi=float("inf"))
+
+
+def test_empty_histogram():
+    h = _build([])
+    assert h.count == 0
+    assert h.counts.sum() == 0.0
+    np.testing.assert_array_equal(h.fractions(), np.zeros(8))
+    other = _build([0.25, 0.75])
+    assert h.estimate_inequality(other, "lt") == 0.0
+    assert other.estimate_inequality(h, "gt") == 0.0
+
+
+def test_grid_mismatch_rejected():
+    base = _build([0.5], level=3, lo=0.0, hi=1.0)
+    for other in (
+        _build([0.5], level=2, lo=0.0, hi=1.0),
+        _build([0.5], level=3, lo=0.0, hi=2.0),
+        _build([0.5], level=3, lo=-1.0, hi=1.0),
+    ):
+        with pytest.raises(ValueError, match="grid"):
+            base.estimate_inequality(other, "lt")
+
+
+def test_bad_op_rejected():
+    h = _build([0.5])
+    with pytest.raises(ValueError, match="op"):
+        h.estimate_inequality(h, "ne")
+
+
+def test_separated_masses_are_certain():
+    low = _build([0.05, 0.1, 0.2], level=3)
+    high = _build([0.8, 0.9, 0.95], level=3)
+    assert low.estimate_inequality(high, "lt") == 1.0
+    assert low.estimate_inequality(high, "ge") == 0.0
+    assert high.estimate_inequality(low, "gt") == 1.0
+
+
+def test_shared_bucket_splits_half():
+    a = _build([0.5], level=0)
+    b = _build([0.5], level=0)
+    assert a.estimate_inequality(b, "lt") == 0.5
+    assert a.estimate_inequality(b, "gt") == 0.5
+
+
+@pytest.mark.parametrize("level", [0, 3, 6])
+def test_complement_identity_bit_exact(level):
+    rng = np.random.default_rng(17)
+    a = _build(rng.random(500), level=level)
+    b = _build(rng.beta(2.0, 5.0, size=400), level=level)
+    for strict, loose in (("lt", "ge"), ("le", "gt")):
+        assert a.estimate_inequality(b, strict) + a.estimate_inequality(b, loose) == 1.0
+    # Continuous model: le ≡ lt and ge ≡ gt.
+    assert a.estimate_inequality(b, "lt") == a.estimate_inequality(b, "le")
+    assert a.estimate_inequality(b, "gt") == a.estimate_inequality(b, "ge")
+
+
+def test_accuracy_against_exact_sort_count():
+    rng = np.random.default_rng(23)
+    va = rng.random(2000)
+    vb = rng.beta(2.0, 5.0, size=1500)
+    exact = np.searchsorted(np.sort(vb), va, side="right")
+    exact_p = (len(vb) - exact).sum() / (len(va) * len(vb))
+    est = endpoint_inequality_estimate(va, vb, 6, "lt", lo=0.0, hi=1.0)
+    assert est == pytest.approx(exact_p, rel=0.02)
+    # Finer grids should not do worse than the single-bucket floor.
+    floor = endpoint_inequality_estimate(va, vb, 0, "lt", lo=0.0, hi=1.0)
+    assert abs(est - exact_p) <= abs(floor - exact_p)
+
+
+def test_one_shot_helper_matches_manual_build():
+    rng = np.random.default_rng(29)
+    va, vb = rng.random(100), rng.random(80)
+    manual = _build(va, level=4).estimate_inequality(_build(vb, level=4), "ge")
+    assert endpoint_inequality_estimate(va, vb, 4, "ge", lo=0.0, hi=1.0) == manual

@@ -1,0 +1,72 @@
+"""Table-driven boundary semantics shared by every predicate engine.
+
+One row = one pair of rectangles, one predicate, one expected truth
+value.  The table pins the *closed* boundary contract documented in
+:mod:`repro.geometry.predicates` — touching rectangles intersect, a pair
+at distance exactly ε is within ε, intervals sharing an endpoint
+overlap, equal endpoints decide ``le``/``ge`` but not ``lt``/``gt`` —
+and every consumer (scalar predicates, dense masks, the naive oracle,
+the specialized engines) must agree with it row by row.
+
+Coordinates are chosen to be exactly representable in binary floating
+point (halves and small integers), so the expected answers are not
+rounding accidents: the 3-4-5 row really sits at distance exactly 5.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.predicates import (
+    Inequality,
+    Intersects,
+    IntervalOverlap,
+    JoinPredicate,
+    WithinDistance,
+)
+
+Coords = Tuple[float, float, float, float]
+
+
+@dataclass(frozen=True)
+class EdgeCase:
+    """One pinned boundary decision."""
+
+    label: str
+    a: Coords  # (xmin, ymin, xmax, ymax)
+    b: Coords
+    predicate: JoinPredicate
+    expected: bool
+
+
+EDGE_CASES = [
+    # -- closed intersection boundaries --------------------------------
+    EdgeCase("touching_edges_intersect", (0, 0, 1, 1), (1, 0, 2, 1), Intersects(), True),
+    EdgeCase("touching_corner_intersects", (0, 0, 1, 1), (1, 1, 2, 2), Intersects(), True),
+    EdgeCase("separated_disjoint", (0, 0, 1, 1), (1.5, 0, 2.5, 1), Intersects(), False),
+    EdgeCase("coincident_points_intersect", (0.5, 0.5, 0.5, 0.5), (0.5, 0.5, 0.5, 0.5), Intersects(), True),
+    EdgeCase("zero_area_on_edge_intersects", (0, 0, 1, 1), (1, 0.5, 1, 0.5), Intersects(), True),
+    # -- ε-distance: exactly-ε pairs qualify (closed) ------------------
+    EdgeCase("gap_exactly_eps_axis", (0, 0, 1, 1), (1.5, 0, 2.5, 1), WithinDistance(0.5), True),
+    EdgeCase("gap_above_eps_axis", (0, 0, 1, 1), (1.5, 0, 2.5, 1), WithinDistance(0.25), False),
+    EdgeCase("gap_345_eps5", (0, 0, 1, 1), (4, 5, 5, 6), WithinDistance(5.0), True),
+    EdgeCase("gap_345_eps4", (0, 0, 1, 1), (4, 5, 5, 6), WithinDistance(4.0), False),
+    EdgeCase("eps0_is_touching", (0, 0, 1, 1), (1, 1, 2, 2), WithinDistance(0.0), True),
+    EdgeCase("eps0_not_separated", (0, 0, 1, 1), (1.5, 0, 2.5, 1), WithinDistance(0.0), False),
+    EdgeCase("points_at_eps", (0, 0, 0, 0), (0.5, 0, 0.5, 0), WithinDistance(0.5), True),
+    EdgeCase("points_past_eps", (0, 0, 0, 0), (0.5, 0, 0.5, 0), WithinDistance(0.25), False),
+    # -- interval overlap: shared endpoints count ----------------------
+    EdgeCase("intervals_share_endpoint_x", (0, 0, 1, 1), (1, 5, 2, 6), IntervalOverlap("x"), True),
+    EdgeCase("intervals_disjoint_x", (0, 0, 1, 1), (1.5, 0, 2.5, 1), IntervalOverlap("x"), False),
+    EdgeCase("intervals_nested_x", (0, 0, 4, 1), (1, 9, 2, 10), IntervalOverlap("x"), True),
+    EdgeCase("intervals_share_endpoint_y", (0, 0, 1, 1), (5, 1, 6, 2), IntervalOverlap("y"), True),
+    EdgeCase("degenerate_interval_on_boundary", (0, 0, 1, 1), (1, 7, 1, 8), IntervalOverlap("x"), True),
+    # -- inequality: equal endpoints decide le/ge, not lt/gt -----------
+    EdgeCase("equal_xmin_lt", (0.5, 0, 1, 1), (0.5, 5, 2, 6), Inequality("lt", "xmin"), False),
+    EdgeCase("equal_xmin_le", (0.5, 0, 1, 1), (0.5, 5, 2, 6), Inequality("le", "xmin"), True),
+    EdgeCase("equal_xmin_gt", (0.5, 0, 1, 1), (0.5, 5, 2, 6), Inequality("gt", "xmin"), False),
+    EdgeCase("equal_xmin_ge", (0.5, 0, 1, 1), (0.5, 5, 2, 6), Inequality("ge", "xmin"), True),
+    EdgeCase("smaller_xmin_lt", (0.25, 0, 1, 1), (0.5, 0, 2, 1), Inequality("lt", "xmin"), True),
+    EdgeCase("larger_xmax_gt", (0, 0, 3, 1), (0.5, 0, 2, 1), Inequality("gt", "xmax"), True),
+    EdgeCase("equal_ymax_lt", (0, 0, 1, 2), (5, 1, 6, 2), Inequality("lt", "ymax"), False),
+    EdgeCase("equal_ymax_le", (0, 0, 1, 2), (5, 1, 6, 2), Inequality("le", "ymax"), True),
+]

@@ -1,0 +1,160 @@
+"""Unit tests for the predicate algebra itself.
+
+The engines are gated elsewhere (edge-case table, differential matrix,
+hypothesis properties); this file pins the *value semantics* of the
+predicate objects: validation, key roundtrips, hashing/equality, and the
+metamorphic algebra (``translated``/``scaled``/``swapped_axes``/
+``reversed``/``complement``) that the metamorphic suite builds on.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.predicates import (
+    AXES,
+    ENDPOINTS,
+    INEQUALITY_OPS,
+    STANDARD_PREDICATES,
+    Inequality,
+    Intersects,
+    IntervalOverlap,
+    JoinPredicate,
+    WithinDistance,
+    predicate_from_key,
+)
+
+ALL_PREDICATES = [
+    Intersects(),
+    WithinDistance(0.0),
+    WithinDistance(0.25),
+    IntervalOverlap("x"),
+    IntervalOverlap("y"),
+    *[Inequality(op, ep) for op in sorted(INEQUALITY_OPS) for ep in ENDPOINTS],
+]
+
+
+@pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: p.key)
+def test_key_roundtrip(predicate):
+    assert predicate_from_key(predicate.key) == predicate
+
+
+@pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: p.key)
+def test_frozen_hashable_picklable(predicate):
+    assert isinstance(predicate, JoinPredicate)
+    assert hash(predicate) == hash(predicate_from_key(predicate.key))
+    clone = pickle.loads(pickle.dumps(predicate))
+    assert clone == predicate
+    with pytest.raises(AttributeError):
+        predicate.frozen_marker = 1  # dataclass(frozen=True)
+
+
+@pytest.mark.parametrize(
+    "key",
+    ["", "nope", "within:abc", "within:", "interval:z", "ineq:xmin:??", "ineq:zmax:lt"],
+)
+def test_bad_keys_rejected(key):
+    with pytest.raises(ValueError):
+        predicate_from_key(key)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        WithinDistance(-0.5)
+    with pytest.raises(ValueError):
+        WithinDistance(float("nan"))
+    with pytest.raises(ValueError):
+        WithinDistance(float("inf"))
+    with pytest.raises(ValueError):
+        IntervalOverlap("diag")
+    with pytest.raises(ValueError):
+        Inequality("ne", "xmin")
+    with pytest.raises(ValueError):
+        Inequality("lt", "center")
+
+
+def test_standard_registry_shape():
+    assert set(STANDARD_PREDICATES) == {
+        "intersects", "within_eps", "interval_x", "ineq_lt_xmin",
+    }
+    # One representative per predicate type, keys self-describing.
+    types = {type(p) for p in STANDARD_PREDICATES.values()}
+    assert types == {Intersects, WithinDistance, IntervalOverlap, Inequality}
+    for predicate in STANDARD_PREDICATES.values():
+        assert predicate_from_key(predicate.key) == predicate
+
+
+# -- metamorphic algebra ------------------------------------------------
+
+
+@pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: p.key)
+def test_translation_is_always_identity(predicate):
+    assert predicate.translated(0.5, -0.25) == predicate
+
+
+def test_scaling():
+    assert Intersects().scaled(4.0) == Intersects()
+    assert IntervalOverlap("y").scaled(4.0) == IntervalOverlap("y")
+    assert Inequality("le", "ymax").scaled(4.0) == Inequality("le", "ymax")
+    assert WithinDistance(0.25).scaled(4.0) == WithinDistance(1.0)
+    assert WithinDistance(0.0).scaled(4.0) == WithinDistance(0.0)
+    for predicate in (Intersects(), WithinDistance(0.25)):
+        with pytest.raises(ValueError):
+            predicate.scaled(0.0)
+        with pytest.raises(ValueError):
+            predicate.scaled(-2.0)
+
+
+def test_swapped_axes():
+    assert Intersects().swapped_axes() == Intersects()
+    assert WithinDistance(0.25).swapped_axes() == WithinDistance(0.25)
+    assert IntervalOverlap("x").swapped_axes() == IntervalOverlap("y")
+    assert IntervalOverlap("y").swapped_axes() == IntervalOverlap("x")
+    assert Inequality("lt", "xmin").swapped_axes() == Inequality("lt", "ymin")
+    assert Inequality("ge", "ymax").swapped_axes() == Inequality("ge", "xmax")
+
+
+@pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: p.key)
+def test_swapped_axes_is_an_involution(predicate):
+    assert predicate.swapped_axes().swapped_axes() == predicate
+
+
+def test_reversed():
+    assert Intersects().reversed() == Intersects()
+    assert WithinDistance(0.25).reversed() == WithinDistance(0.25)
+    assert IntervalOverlap("x").reversed() == IntervalOverlap("x")
+    assert Inequality("lt", "xmin").reversed() == Inequality("gt", "xmin")
+    assert Inequality("le", "ymax").reversed() == Inequality("ge", "ymax")
+
+
+@pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: p.key)
+def test_reversed_is_an_involution(predicate):
+    assert predicate.reversed().reversed() == predicate
+
+
+@pytest.mark.parametrize("op", sorted(INEQUALITY_OPS))
+def test_inequality_complement(op):
+    predicate = Inequality(op, "xmax")
+    complement = predicate.complement()
+    assert complement.complement() == predicate
+    assert complement != predicate
+    # reversed == complement-of-strictness: lt reverses to gt but
+    # complements to ge — pin that they differ for every op.
+    assert complement != predicate.reversed()
+
+
+def test_inequality_values_column():
+    rng = np.random.default_rng(7)
+    from repro.geometry import RectArray
+
+    xmin = np.sort(rng.random(8))
+    rects = RectArray(xmin, np.zeros(8), xmin + 0.1, np.ones(8))
+    np.testing.assert_array_equal(Inequality("lt", "xmin").values(rects), rects.xmin)
+    np.testing.assert_array_equal(Inequality("lt", "ymax").values(rects), rects.ymax)
+
+
+def test_axes_and_endpoints_constants():
+    assert AXES == ("x", "y")
+    assert ENDPOINTS == ("xmin", "xmax", "ymin", "ymax")
+    assert set(INEQUALITY_OPS) == {"lt", "le", "gt", "ge"}

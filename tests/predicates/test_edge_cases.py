@@ -1,0 +1,103 @@
+"""Every engine answers the shared edge-case table identically.
+
+The table (``edge_cases.py``) pins the closed boundary semantics; these
+tests drive it through all four evaluation routes:
+
+1. the predicate's dense ``pair_mask`` (the semantic ground truth);
+2. the scalar geometry predicates (``rects_intersect`` /
+   ``rects_within_distance`` / ``intervals_overlap``) where one exists;
+3. the blocked naive oracle;
+4. every specialized engine ``supported_join_methods`` reports.
+
+A disagreement anywhere is a boundary-semantics bug, not an accuracy
+issue — these are single-pair joins with one exactly-representable
+answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Rect,
+    RectArray,
+    intervals_overlap,
+    min_distance,
+    rects_intersect,
+    rects_within_distance,
+)
+from repro.predicates import (
+    Intersects,
+    IntervalOverlap,
+    WithinDistance,
+    naive_predicate_count,
+    naive_predicate_pairs,
+    predicate_join_count,
+    predicate_join_pairs,
+    supported_join_methods,
+)
+
+from tests.predicates.edge_cases import EDGE_CASES
+
+_CASE_IDS = [case.label for case in EDGE_CASES]
+
+
+def _as_array(coords) -> RectArray:
+    x0, y0, x1, y1 = coords
+    return RectArray(
+        np.array([x0], dtype=np.float64),
+        np.array([y0], dtype=np.float64),
+        np.array([x1], dtype=np.float64),
+        np.array([y1], dtype=np.float64),
+    )
+
+
+@pytest.mark.parametrize("case", EDGE_CASES, ids=_CASE_IDS)
+def test_pair_mask_matches_table(case):
+    mask = case.predicate.pair_mask(_as_array(case.a), _as_array(case.b))
+    assert mask.shape == (1, 1)
+    assert bool(mask[0, 0]) is case.expected
+
+
+@pytest.mark.parametrize("case", EDGE_CASES, ids=_CASE_IDS)
+def test_scalar_predicates_match_table(case):
+    ra, rb = Rect(*case.a), Rect(*case.b)
+    if isinstance(case.predicate, Intersects):
+        assert rects_intersect(ra, rb) is case.expected
+    elif isinstance(case.predicate, WithinDistance):
+        assert rects_within_distance(ra, rb, case.predicate.eps) is case.expected
+        # The scalar distance agrees with the decision on non-boundary
+        # rows and sits exactly on ε for the pinned boundary rows.
+        distance = min_distance(ra, rb)
+        assert (distance <= case.predicate.eps) is case.expected
+    elif isinstance(case.predicate, IntervalOverlap):
+        if case.predicate.axis == "x":
+            assert intervals_overlap(ra.xmin, ra.xmax, rb.xmin, rb.xmax) is case.expected
+        else:
+            assert intervals_overlap(ra.ymin, ra.ymax, rb.ymin, rb.ymax) is case.expected
+    else:
+        value_a = getattr(ra, case.predicate.endpoint)
+        value_b = getattr(rb, case.predicate.endpoint)
+        ops = {"lt": value_a < value_b, "le": value_a <= value_b,
+               "gt": value_a > value_b, "ge": value_a >= value_b}
+        assert ops[case.predicate.op] is case.expected
+
+
+@pytest.mark.parametrize("case", EDGE_CASES, ids=_CASE_IDS)
+def test_naive_oracle_matches_table(case):
+    a, b = _as_array(case.a), _as_array(case.b)
+    expected = int(case.expected)
+    assert naive_predicate_count(a, b, case.predicate) == expected
+    pairs = naive_predicate_pairs(a, b, case.predicate)
+    assert len(pairs) == expected
+
+
+@pytest.mark.parametrize("case", EDGE_CASES, ids=_CASE_IDS)
+def test_every_engine_matches_table(case):
+    a, b = _as_array(case.a), _as_array(case.b)
+    expected = int(case.expected)
+    for method in supported_join_methods(case.predicate):
+        assert predicate_join_count(a, b, case.predicate, method=method) == expected, method
+        pairs = predicate_join_pairs(a, b, case.predicate, method=method)
+        assert len(pairs) == expected, method
+        if expected:
+            assert pairs.tolist() == [[0, 0]]
