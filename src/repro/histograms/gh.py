@@ -149,6 +149,7 @@ class GHHistogram:
             (rects.xmax, rects.ymax),
             (rects.xmin, rects.ymax),
         ):
+            checkpoint("gh.build.corners")
             flat = grid.row_of(y) * grid.side + grid.column_of(x)
             scatter_add(c, flat)
 

@@ -77,6 +77,7 @@ class BasicGHHistogram:
             (rects.xmax, rects.ymax),
             (rects.xmin, rects.ymax),
         ):
+            checkpoint("gh_basic.build.corners")
             flat = grid.row_of(y) * grid.side + grid.column_of(x)
             scatter_add(c, flat)
         # MBR / cell incidences.
@@ -88,8 +89,10 @@ class BasicGHHistogram:
         j0 = grid.row_of(rects.ymin)
         j1 = grid.row_of(rects.ymax)
         for row in (j0, j1):
+            checkpoint("gh_basic.build.edges")
             _count_runs(lo=i0, hi=i1, fixed=row, stride_fixed=grid.side, stride_run=1, out=h)
         for col in (i0, i1):
+            checkpoint("gh_basic.build.edges")
             _count_runs(lo=j0, hi=j1, fixed=col, stride_fixed=1, stride_run=grid.side, out=v)
 
     @staticmethod

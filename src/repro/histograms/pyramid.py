@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect
+from ..runtime import checkpoint
 from .gh import GHHistogram
 from .grid import Grid
 
@@ -83,6 +84,7 @@ class GHPyramid:
             finer = min(l for l in self._levels if l > level)
             hist = self._levels[finer]
             for current in range(finer - 1, level - 1, -1):
+                checkpoint("pyramid.downsample")
                 hist = downsample_gh(hist)
                 self._levels[current] = hist
         return self._levels[level]

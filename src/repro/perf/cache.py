@@ -160,8 +160,8 @@ class HistogramCache:
         self.derive_gh = derive_gh
         self.store = store
         self.stats = CacheStats()
-        self._entries: OrderedDict[CacheKey, Histogram] = OrderedDict()
-        self._bytes = 0
+        self._entries: OrderedDict[CacheKey, Histogram] = OrderedDict()  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -426,8 +426,8 @@ class FlatTreeCache:
         self.max_bytes = int(max_bytes)
         self.store = store
         self.stats = CacheStats()
-        self._entries: OrderedDict[TreeCacheKey, FlatRTree] = OrderedDict()
-        self._bytes = 0
+        self._entries: OrderedDict[TreeCacheKey, FlatRTree] = OrderedDict()  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------

@@ -90,6 +90,7 @@ def naive_predicate_count(
         checkpoint("predicates.naive.block")
         ablock = a[s : s + block]
         for t in range(0, len(b), block):
+            checkpoint("predicates.naive.block")
             mask = predicate.pair_mask(ablock, b[t : t + block])
             total += int(np.count_nonzero(mask))
     return total
@@ -106,6 +107,7 @@ def naive_predicate_pairs(
         checkpoint("predicates.naive.block")
         ablock = a[s : s + block]
         for t in range(0, len(b), block):
+            checkpoint("predicates.naive.block")
             ia, ib = np.nonzero(predicate.pair_mask(ablock, b[t : t + block]))
             if len(ia):
                 chunks.append(np.stack([ia + s, ib + t], axis=1))

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..geometry import RectArray
 from ..hilbert import DEFAULT_ORDER, hilbert_sort_order
+from ..runtime import checkpoint
 from .node import Node
 from .rtree import DEFAULT_MAX_ENTRIES, RTree
 
@@ -123,6 +124,7 @@ def pack_sorted(
     level = 0
     nodes = leaves
     while len(nodes) > 1:
+        checkpoint("rtree.bulk.level")
         level += 1
         nodes = [
             Node(level, children=nodes[s : s + max_entries])

@@ -210,6 +210,7 @@ class FlatRTree:
         level_count = [counts]
         child_blocks = [_pad_child_blocks(coords, len(starts), max_entries)]
         while len(level_mbrs[-1]) > 1:
+            checkpoint("rtree.flat.level")
             below = level_mbrs[-1]
             starts, counts = _level_ranges(len(below), max_entries)
             level_mbrs.append(_reduce_mbrs(below, starts))
@@ -276,6 +277,7 @@ class FlatRTree:
         below = n
         lvl = 0
         while f"level{lvl}_mbrs" in blocks:
+            checkpoint("rtree.flat.level")
             mbrs = blocks[f"level{lvl}_mbrs"]
             start = blocks[f"level{lvl}_start"]
             count = blocks[f"level{lvl}_count"]

@@ -17,6 +17,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..runtime import checkpoint
 from .node import Node
 from .rtree import RTree
 
@@ -54,6 +55,7 @@ def rtree_join_count(tree_a: RTree, tree_b: RTree) -> int:
     total = 0
     stack = [(tree_a.root, tree_b.root)]
     while stack:
+        checkpoint("rtree.join.node")
         na, nb = stack.pop()
         if not _mbrs_intersect(na.mbr, nb.mbr):
             continue
@@ -103,6 +105,7 @@ def _iter_leaf_pair_ids(
         return
     stack = [(tree_a.root, tree_b.root)]
     while stack:
+        checkpoint("rtree.join.node")
         na, nb = stack.pop()
         if not _mbrs_intersect(na.mbr, nb.mbr):
             continue

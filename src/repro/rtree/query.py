@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import Rect
+from ..runtime import checkpoint
 from .node import Node
 
 __all__ = ["search_intersecting", "count_intersecting", "search_contained"]
@@ -30,6 +31,7 @@ def search_intersecting(root: Node, rect: Rect) -> np.ndarray:
     target = rect.as_tuple()
     stack = [root]
     while stack:
+        checkpoint("rtree.query.node")
         node = stack.pop()
         if not node.mbr_intersects(target):
             continue
@@ -66,6 +68,7 @@ def search_contained(root: Node, rect: Rect) -> np.ndarray:
     target = rect.as_tuple()
     stack = [root]
     while stack:
+        checkpoint("rtree.query.node")
         node = stack.pop()
         if not node.mbr_intersects(target):
             continue

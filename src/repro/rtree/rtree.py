@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..geometry import Rect, RectArray
+from ..runtime import checkpoint
 from .node import Node
 
 __all__ = ["RTree", "DEFAULT_MAX_ENTRIES"]
@@ -106,6 +107,7 @@ class RTree:
     # Insertion internals
     # ------------------------------------------------------------------
     def _insert_coords(self, coord: np.ndarray, payload: int) -> None:
+        checkpoint("rtree.insert")
         split = self._insert_into(self.root, coord, payload)
         if split is not None:
             old_root = self.root
@@ -178,6 +180,7 @@ class RTree:
         payload: int,
         orphans: list[tuple[np.ndarray, int]],
     ) -> bool:
+        checkpoint("rtree.delete")
         if node.is_leaf:
             matches = np.nonzero(
                 (node.entry_ids == payload) & (node.entry_coords == coord).all(axis=1)
@@ -283,6 +286,7 @@ class RTree:
             axis_orders[axis] = orders
             margin_sum = 0.0
             for order in orders:
+                checkpoint("rtree.split")
                 for group_a, group_b in distributions(order):
                     margin_sum += margin(group_mbr(group_a)) + margin(group_mbr(group_b))
             if margin_sum < best_margin_sum:
@@ -293,6 +297,7 @@ class RTree:
         best_key = (np.inf, np.inf)
         for order in axis_orders[best_axis]:
             for group_a, group_b in distributions(order):
+                checkpoint("rtree.split")
                 mbr_a, mbr_b = group_mbr(group_a), group_mbr(group_b)
                 key = (
                     overlap(mbr_a, mbr_b),
@@ -319,6 +324,7 @@ class RTree:
         remaining = [i for i in range(k) if i not in (seed_a, seed_b)]
 
         while remaining:
+            checkpoint("rtree.split")
             # Force-assign when one group must absorb everything left to
             # reach the minimum fill.
             if len(group_a) + len(remaining) == self.min_entries:

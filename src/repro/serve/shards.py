@@ -271,11 +271,11 @@ class _Shard:
     ) -> None:
         self.shard_id = shard_id
         self.metas = metas
-        self.process: Any = None
-        self.conn: Any = None
+        self.process: Any = None  # guarded-by: lock
+        self.conn: Any = None  # guarded-by: lock
         self.breaker = breaker
-        self.stats = ShardStats()
-        self.failed = False  #: permanently out of restart budget
+        self.stats = ShardStats()  # guarded-by: lock
+        self.failed = False  # guarded-by: lock — out of restart budget
         #: Serializes the whole round-trip: one pipe, one caller at a time.
         self.lock = threading.Lock()
 
@@ -388,7 +388,8 @@ class ShardPool:
                 for name, owner in sorted(self._placement.items())
                 if owner == shard.shard_id
             ]
-            self._spawn(shard)
+            with shard.lock:
+                self._spawn(shard)
         self._started = True
         return self
 
@@ -518,23 +519,29 @@ class ShardPool:
 
     def stats(self) -> dict[str, object]:
         """Pool-wide supervision snapshot for reports and benchmarks."""
+        per_shard: list[dict[str, object]] = []
+        for shard in self._shards:
+            with shard.lock:  # consistent snapshot vs. restarts in _call
+                per_shard.append(
+                    {
+                        "shard_id": shard.shard_id,
+                        "alive": shard.process is not None
+                        and shard.process.is_alive(),
+                        "failed": shard.failed,
+                        "datasets": len(shard.metas),
+                        **shard.stats.snapshot(),
+                        "breaker": shard.breaker.snapshot(),
+                    }
+                )
         return {
             "num_shards": self.num_shards,
-            "restarts": sum(s.stats.restarts for s in self._shards),
-            "failures": sum(s.stats.failures for s in self._shards),
-            "breaker_opens": sum(s.breaker.opens_total for s in self._shards),
-            "store_hits": sum(s.stats.store_hits for s in self._shards),
-            "shards": [
-                {
-                    "shard_id": s.shard_id,
-                    "alive": s.process is not None and s.process.is_alive(),
-                    "failed": s.failed,
-                    "datasets": len(s.metas),
-                    **s.stats.snapshot(),
-                    "breaker": s.breaker.snapshot(),
-                }
-                for s in self._shards
-            ],
+            "restarts": sum(s["restarts"] for s in per_shard),  # type: ignore[misc]
+            "failures": sum(s["failures"] for s in per_shard),  # type: ignore[misc]
+            "breaker_opens": sum(
+                s["breaker"]["opens_total"] for s in per_shard  # type: ignore[index]
+            ),
+            "store_hits": sum(s["store_hits"] for s in per_shard),  # type: ignore[misc]
+            "shards": per_shard,
         }
 
     def chaos_kill(self, shard_id: int) -> bool:
@@ -547,7 +554,8 @@ class ShardPool:
         failure and handles it under its own lock).
         """
         shard = self._shards[shard_id]
-        process = shard.process
+        # Lock-free by contract (see docstring): a signal races safely.
+        process = shard.process  # repro-lint: disable=R012
         if process is None or not process.is_alive():
             return False
         process.kill()

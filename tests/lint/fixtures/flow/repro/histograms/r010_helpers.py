@@ -1,0 +1,38 @@
+"""Helpers the R010 fixtures call across the module boundary.
+
+The disable-file below covers *this* module only.  ``far_helper`` is a
+transit point on an uncovered path whose loop lives in ``r010_cases`` —
+the diagnostic lands there, and this file's suppression must not reach
+it (suppression interplay: only the diagnostic's own file counts).
+"""
+# repro-lint: disable-file=R010
+
+from ..runtime import checkpoint
+
+
+def chatty_helper(v):
+    """Long AND checkpointing: loops calling this are covered."""
+    checkpoint("fixture.helper")
+    a = v + 1
+    b = a * 2
+    c = b + 3
+    d = c * 4
+    e = d + 5
+    f = e * 6
+    g = f + 7
+    h = g + 8
+    return h
+
+
+def far_helper(v):
+    """Long and checkpoint-free: loops calling this are NOT covered."""
+    a = v + 1
+    b = a * 2
+    c = b + 3
+    d = c * 4
+    e = d + 5
+    f = e * 6
+    g = f + 7
+    h = g * 8
+    i2 = h + 9
+    return i2

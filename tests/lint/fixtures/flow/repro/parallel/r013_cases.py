@@ -1,0 +1,64 @@
+"""R013 fixtures: unpicklable values crossing the process boundary.
+
+Three true positives — a lock-holding cache into ``Pipe.send``, a
+config that *transitively* holds the cache into a pool submission, and
+an unpicklable value threaded through a helper's sink parameter — plus
+the sanctioned shapes (plain payloads; pipe ends handed to a child
+process via multiprocessing's own reduction).
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+from multiprocessing.connection import Connection
+
+
+class TileCache:
+    """Holds a lock: cannot cross a process boundary."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tiles: dict = {}
+
+
+class ReplicaConfig:
+    """Holds a TileCache: transitively unpicklable."""
+
+    cache: TileCache
+
+    def __init__(self, cache: TileCache) -> None:
+        self.cache = cache
+
+
+def _work(config):
+    return config
+
+
+def ship_cache(conn: Connection, cache: TileCache) -> None:
+    """TP: a lock holder into a pipe."""
+    conn.send(cache)
+
+
+def ship_config(pool: ProcessPoolExecutor, config: ReplicaConfig):
+    """TP: the transitive closure catches the cache inside the config."""
+    return pool.submit(_work, config)
+
+
+def _relay(conn: Connection, item) -> None:
+    conn.send(item)
+
+
+def ship_via_helper(conn: Connection, cache: TileCache) -> None:
+    """TP: the helper's sink parameter taints this call site."""
+    _relay(conn, cache)
+
+
+def ship_plain(conn: Connection, payload: tuple) -> None:
+    """Fine: plain data crosses freely."""
+    conn.send(payload)
+
+
+def hand_pipe_to_child(child: Connection) -> None:
+    """Fine: Process args carry pipe ends via mp's own reduction."""
+    proc = Process(target=_work, args=(child,))
+    proc.start()

@@ -1,0 +1,22 @@
+"""Fixture mirror of :mod:`repro.runtime`.
+
+The flow rules resolve call targets through the module graph, so the
+fixture project needs a ``repro.runtime`` of its own for ``checkpoint``
+(R010's reachability target) and ``Deadline`` (R014's spend site) to
+resolve against.
+"""
+
+
+def checkpoint(stage: str) -> None:
+    """Cooperative cancellation point (fixture stand-in)."""
+
+
+class Deadline:
+    """Wall-clock budget (fixture stand-in)."""
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = float(seconds)
+
+    @property
+    def remaining(self) -> float:
+        return self.seconds

@@ -1,0 +1,38 @@
+"""R011 fixtures: blocking primitives on the event-loop thread.
+
+Two true positives (a direct ``np.load`` and a transitive pipe wait)
+and two sanctioned shapes (the executor hop and an awaited async
+callee, which owns its own report).
+"""
+
+import asyncio
+
+import numpy as np
+from multiprocessing.connection import Connection
+
+
+def _sync_recv(conn: Connection):
+    if conn.poll(1.0):
+        return conn.recv()
+    return None
+
+
+async def direct_block(path):
+    """TP: np.load directly inside an async def."""
+    return np.load(path)
+
+
+async def transitive_block(conn: Connection):
+    """TP: the sync helper reaches a pipe wait with no executor hop."""
+    return _sync_recv(conn)
+
+
+async def executor_hop(path):
+    """Fine: the blocking callable crosses into the executor."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, np.load, path)
+
+
+async def async_caller(conn: Connection):
+    """Fine here: the async callee gets its own report, not this site."""
+    return await transitive_block(conn)

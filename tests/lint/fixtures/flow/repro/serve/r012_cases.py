@@ -1,0 +1,50 @@
+"""R012 fixtures: ``# guarded-by:`` lock discipline.
+
+Two true positives (an unlocked read and a helper reachable from an
+unlocked entry) and the disciplined shapes the rule must accept
+(lexical ``with`` and a helper whose every caller holds the lock).
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+        self._peak = 0  # guarded-by: _lock
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self._total += n
+            if self._total > self._peak:
+                self._peak = self._total
+
+    def racy_read(self) -> int:
+        """TP: reads a guarded attribute with no lock on any path."""
+        return self._total
+
+    def _bump_locked(self, n: int) -> None:
+        self._total += n  # TP while any caller enters without the lock
+
+    def locked_entry(self, n: int) -> None:
+        with self._lock:
+            self._bump_locked(n)
+
+    def racy_entry(self, n: int) -> None:
+        self._bump_locked(n)
+
+
+class Disciplined:
+    """Every access path holds the lock — nothing here is flagged."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list = []  # guarded-by: _lock
+
+    def push(self, item) -> None:
+        with self._lock:
+            self._append_locked(item)
+
+    def _append_locked(self, item) -> None:
+        self._items.append(item)

@@ -1,0 +1,45 @@
+"""R014 fixtures: one call chain, one wall-clock budget.
+
+Two true positives (a carrier re-spending, and a fresh spend downstream
+of a carrier) and the sanctioned shapes: the entry-point spend, the
+derived spend, and the origin-of-chain cycle where the only "carrier"
+upstream is a helper threading the budget this very function created.
+"""
+
+from ..runtime import Deadline
+
+
+def entry(work) -> float:
+    """Fine: the entry point spends once."""
+    deadline = Deadline(5.0)
+    return stage_one(work, deadline.remaining)
+
+
+def stage_one(work, budget_s: float) -> float:
+    """Fine: derived from the incoming budget, not the wall clock."""
+    scoped = Deadline(budget_s)
+    return run(work, scoped)
+
+
+def run(work, deadline: Deadline) -> float:
+    """TP (type A): already receives a budget, spends a fresh one."""
+    fresh = Deadline(2.0)
+    return finish(work) + fresh.remaining
+
+
+def finish(work) -> float:
+    """TP (type B): downstream of run's budget, re-spends wall-clock."""
+    fresh = Deadline(3.0)
+    return float(work) + fresh.remaining
+
+
+def cycle_entry(work) -> float:
+    """Fine: origin of the chain its own helpers thread back into it."""
+    fresh = Deadline(4.0)
+    return cycle_run(work, fresh)
+
+
+def cycle_run(work, deadline: Deadline) -> float:
+    if work > 1:
+        return cycle_entry(work - 1)
+    return float(deadline.remaining)

@@ -60,6 +60,7 @@ class TestTextOutput:
         assert code == 0
         for rule_id in (
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R010", "R011", "R012", "R013", "R014",
         ):
             assert rule_id in out
 
@@ -110,6 +111,69 @@ class TestSelectIgnore:
             capsys, "--ignore", "R001", str(PKG / "histograms" / "r001_global_rng.py")
         )
         assert code == 0
+
+
+class TestFlowFlags:
+    FLOW = FIXTURES / "flow"
+
+    def test_no_flow_drops_interprocedural_rules(self, capsys):
+        code, out, _ = run_cli(capsys, "--format", "json", str(self.FLOW))
+        payload = json.loads(out)
+        assert any(d["rule"].startswith("R01") for d in payload["diagnostics"])
+
+        code, out, _ = run_cli(capsys, "--no-flow", "--format", "json", str(self.FLOW))
+        payload = json.loads(out)
+        assert not any(d["rule"].startswith("R01") for d in payload["diagnostics"])
+
+    def test_sarif_flag_writes_a_report(self, capsys, tmp_path):
+        sarif_path = tmp_path / "out" / "lint.sarif"
+        run_cli(capsys, "--sarif", str(sarif_path), str(self.FLOW))
+        doc = json.loads(sarif_path.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_cache_flag_makes_the_second_run_warm(self, capsys, tmp_path):
+        cache = tmp_path / "cache.json"
+        run_cli(capsys, "--cache", str(cache), "--format", "json", str(self.FLOW))
+        _, out, _ = run_cli(
+            capsys, "--cache", str(cache), "--format", "json", str(self.FLOW)
+        )
+        stats = json.loads(out)["stats"]
+        assert stats["files_parsed"] == 0
+        assert stats["flow_from_cache"] is True
+
+    def test_changed_only_slices_to_the_diff(self, capsys, tmp_path, monkeypatch):
+        import subprocess
+
+        pkg = tmp_path / "repro" / "histograms"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "one.py").write_text("def f():\n    pass\n")
+        (pkg / "two.py").write_text("def g():\n    pass\n")
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        (pkg / "one.py").write_text("def f():\n    return 1\n")
+
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "--changed-only", "--format", "json", str(tmp_path)
+        )
+        assert code == 0
+        payload = json.loads(out)
+        # the slice is the edited file alone: nothing imports one.py
+        assert payload["stats"]["slice_files"] == 1
+        assert payload["files_checked"] == 1
 
 
 class TestDirectoryWalk:
