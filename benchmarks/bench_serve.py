@@ -59,6 +59,11 @@ from repro.serve import (
 #: on purpose: the claim is "no latency collapse", not a latency SLO.
 OVERLOAD_P99_CAP_MS = 2000.0
 
+#: Healthy-regime median cap (milliseconds), full mode only: with the
+#: tier-0 memo fast lane answering warm repeats on the event loop, the
+#: typical request must be sub-millisecond.
+HEALTHY_P50_CAP_MS = 1.0
+
 
 def make_catalog(n: int, seed: int = 20260808) -> dict[str, SpatialDataset]:
     """Deterministic synthetic catalog on the unit extent."""
@@ -125,10 +130,14 @@ def bench_healthy(catalog, *, rate_qps: float, duration_s: float) -> dict:
 
 
 def bench_overloaded(catalog, *, rate_qps: float, duration_s: float) -> dict:
-    # An 8-deep queue and a 1-byte cache budget: every request is a
-    # fresh build, and the offered rate is far beyond capacity.
+    # An 8-deep queue, a 1-byte cache budget, and no tier-0 memo: every
+    # request is a fresh build, and the offered rate is far beyond
+    # capacity.  (With the memo left on, the fast lane would absorb the
+    # repeated templates and the overload would never materialize — this
+    # regime stresses the admission machinery, not the warm path.)
     server = EstimationServer(
-        catalog, ServerConfig(max_depth=8, cache_bytes=1, max_delay_s=0.002)
+        catalog,
+        ServerConfig(max_depth=8, cache_bytes=1, max_delay_s=0.002, memo_entries=0),
     )
 
     async def go():
@@ -217,7 +226,9 @@ def main(argv: "list[str] | None" = None) -> int:
     healthy = bench_healthy(catalog, **healthy_kw)
     print(
         f"  {healthy['achieved_qps']:.0f} q/s answered, "
+        f"p50 {healthy['latency_ms']['p50']:.3f} ms, "
         f"p99 {healthy['latency_ms']['p99']:.2f} ms, "
+        f"{healthy['vias'].get('memo', 0)} memo fast-lane hits, "
         f"{healthy['shed']} shed, {healthy['errors']} errors"
     )
     print("overloaded regime:")
@@ -268,6 +279,17 @@ def main(argv: "list[str] | None" = None) -> int:
         failures.extend(f"schema: {p}" for p in problems)
     if healthy["errors"]:
         failures.append(f"healthy regime had {healthy['errors']} errors")
+    if healthy["vias"].get("memo", 0) <= 0:
+        failures.append(
+            "healthy regime shows no memo fast-lane answers in provenance"
+        )
+    if healthy["server"]["memo"]["fast_hits"] <= 0:
+        failures.append("healthy server stats report zero memo fast hits")
+    if not args.quick and healthy["latency_ms"]["p50"] > HEALTHY_P50_CAP_MS:
+        failures.append(
+            f"healthy p50 {healthy['latency_ms']['p50']:.3f} ms exceeds the "
+            f"{HEALTHY_P50_CAP_MS:g} ms warm-path cap"
+        )
     if overloaded["shed"] <= 0:
         failures.append("overloaded regime produced no explicit sheds")
     if overloaded["errors"]:

@@ -18,10 +18,13 @@ built at load time.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict
+from typing import TYPE_CHECKING, Any, Callable, Dict
 
 from ..datasets import SpatialDataset
 from ..geometry import Rect
+
+if TYPE_CHECKING:
+    from ..perf.memo import EstimateCache
 from ..histograms import (
     BasicGHHistogram,
     GHHistogram,
@@ -68,6 +71,13 @@ class JoinSelectivityEstimator(ABC):
 class PreparedEstimator(JoinSelectivityEstimator):
     """Two-phase estimator: per-dataset statistics, then cheap combine."""
 
+    #: Optional tier-0 :class:`~repro.perf.memo.EstimateCache`.  When
+    #: set (instance or class level) and :meth:`memo_formula` names the
+    #: combine, :meth:`estimate` answers warm repeats from the memo —
+    #: bit-identical by construction, since prepare/combine are pure
+    #: functions of (geometry, formula, extent).
+    memo: "EstimateCache | None" = None
+
     @abstractmethod
     def prepare(self, dataset: SpatialDataset, *, extent: Rect | None = None) -> Any:
         """Build the per-dataset summary (histogram file, statistics...)."""
@@ -76,19 +86,47 @@ class PreparedEstimator(JoinSelectivityEstimator):
     def combine(self, prep1: Any, prep2: Any) -> float:
         """Estimate selectivity from two prepared summaries."""
 
+    def memo_formula(self) -> "str | None":
+        """The memo's combine label, or None to opt out of memoization.
+
+        Must name every parameter that changes the estimate (scheme,
+        level, corrections, ε...), and must match the label other
+        producers use for the same combine (see
+        :func:`repro.perf.memo.scheme_formula`) so entries interoperate
+        across ``estimate``, ``estimate_many``, and the serving fast
+        lane.  Subclasses opt in; the default None keeps unknown
+        estimators safely unmemoized.
+        """
+        return None
+
     def estimate(self, ds1: SpatialDataset, ds2: SpatialDataset) -> float:
         """One-shot estimate: prepare both sides on the shared extent, combine.
 
         An empty side short-circuits to ``0.0`` (the selectivity of a
         join with no pairs is defined as zero) — no statistics are built
         and no combine formula risks dividing by a zero cardinality.
+        With a :attr:`memo` attached, a warm repeat of the same
+        (geometry, formula, extent) returns the memoized float without
+        preparing either side.
         """
         extent = _shared_extent(ds1, ds2)
         if len(ds1) == 0 or len(ds2) == 0:
             return 0.0
-        return self.combine(
+        memo = self.memo
+        key = None
+        if memo is not None:
+            formula = self.memo_formula()
+            if formula is not None:
+                key = memo.key_for(ds1, ds2, formula, extent)
+                cached = memo.get(key)
+                if cached is not None:
+                    return cached
+        value = self.combine(
             self.prepare(ds1, extent=extent), self.prepare(ds2, extent=extent)
         )
+        if key is not None:
+            memo.put(key, value)
+        return value
 
 
 def _shared_extent(ds1: SpatialDataset, ds2: SpatialDataset) -> Rect:
@@ -114,6 +152,10 @@ class ParametricEstimator(PreparedEstimator):
         """Equation 2 from two prepared summaries."""
         return aref_samet_selectivity(prep1, prep2)
 
+    def memo_formula(self) -> str:
+        """Closed-form label — no level parameter to encode."""
+        return "parametric"
+
 
 class PHEstimator(PreparedEstimator):
     """The Parametric Histogram scheme at a fixed gridding level."""
@@ -131,6 +173,14 @@ class PHEstimator(PreparedEstimator):
     def combine(self, prep1: PHHistogram, prep2: PHHistogram) -> float:
         """Equation 3 from two histogram files."""
         return prep1.estimate_selectivity(prep2, span_correction=self.span_correction)
+
+    def memo_formula(self) -> str:
+        """PH label; the span-corrected default shares the batched
+        scheme label (``scheme_formula("ph", level)``) and the ablation
+        variant is tagged distinctly."""
+        if self.span_correction:
+            return f"ph(level={self.level})"
+        return f"ph(level={self.level},span=0)"
 
     def __repr__(self) -> str:
         return f"PHEstimator(level={self.level})"
@@ -151,6 +201,10 @@ class GHEstimator(PreparedEstimator):
     def combine(self, prep1: GHHistogram, prep2: GHHistogram) -> float:
         """Equation 5 from two histogram files."""
         return prep1.estimate_selectivity(prep2)
+
+    def memo_formula(self) -> str:
+        """GH label, interoperable with ``scheme_formula("gh", level)``."""
+        return f"gh(level={self.level})"
 
     def __repr__(self) -> str:
         return f"GHEstimator(level={self.level})"
@@ -173,6 +227,10 @@ class BasicGHEstimator(PreparedEstimator):
     def combine(self, prep1: BasicGHHistogram, prep2: BasicGHHistogram) -> float:
         """Equation 4 from two count histograms."""
         return prep1.estimate_selectivity(prep2)
+
+    def memo_formula(self) -> str:
+        """Basic-GH label (``scheme_formula("gh_basic", level)``)."""
+        return f"gh_basic(level={self.level})"
 
     def __repr__(self) -> str:
         return f"BasicGHEstimator(level={self.level})"

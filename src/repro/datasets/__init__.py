@@ -1,6 +1,6 @@
 """Datasets: wrapper type, synthetic generators, paper-pair registry, persistence."""
 
-from .base import DatasetSummary, SpatialDataset
+from .base import DatasetSummary, MutationToken, SpatialDataset
 from .io import load_dataset, save_dataset
 from .queries import data_centered_queries, query_grid, uniform_queries
 from .realistic import (
@@ -26,6 +26,7 @@ from .synthetic import (
 )
 
 __all__ = [
+    "MutationToken",
     "SpatialDataset",
     "DatasetSummary",
     "save_dataset",

@@ -17,7 +17,37 @@ import numpy as np
 from ..errors import InvalidDatasetError
 from ..geometry import Rect, RectArray, common_extent
 
-__all__ = ["SpatialDataset", "DatasetSummary"]
+__all__ = ["MutationToken", "SpatialDataset", "DatasetSummary"]
+
+
+class MutationToken:
+    """Monotonic version counter naming a dataset's mutation state.
+
+    Every *sanctioned* in-place edit of a dataset's coordinate arrays
+    must bump the token (:meth:`SpatialDataset.mark_mutated`); identity
+    caches — the fingerprint memo, and through it every tier of the
+    estimate/histogram caches — key on ``(dataset identity, version)``
+    and treat a bump as total invalidation.  Unsanctioned mutations are
+    the caller's contract violation; they are caught probabilistically
+    by the periodic fingerprint audit, not deterministically.
+
+    Mutable on purpose (the enclosing dataclass is frozen): the token
+    is the one channel through which an otherwise-immutable dataset
+    acknowledges that numpy arrays can always be written.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        self.version = 0
+
+    def bump(self) -> int:
+        """Advance to the next version and return it."""
+        self.version += 1
+        return self.version
+
+    def __repr__(self) -> str:
+        return f"MutationToken(version={self.version})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +68,11 @@ class SpatialDataset:
     name: str
     rects: RectArray
     extent: Rect = field(default_factory=Rect.unit)
+    #: Mutation token — excluded from equality/repr; every dataset gets
+    #: its own (derived datasets too: see :meth:`subset`).
+    token: MutationToken = field(
+        default_factory=MutationToken, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.extent.width <= 0 or self.extent.height <= 0:
@@ -83,12 +118,57 @@ class SpatialDataset:
         )
 
     def subset(self, indices: np.ndarray, suffix: str = "subset") -> "SpatialDataset":
-        """A new dataset over the selected rows (same extent)."""
-        return replace(self, name=f"{self.name}.{suffix}", rects=self.rects[indices])
+        """A new dataset over the selected rows (same extent).
+
+        The derived dataset carries a *fresh* token: it has its own
+        arrays and its own mutation history.
+        """
+        return replace(
+            self,
+            name=f"{self.name}.{suffix}",
+            rects=self.rects[indices],
+            token=MutationToken(),
+        )
 
     def with_extent(self, extent: Rect) -> "SpatialDataset":
-        """Re-declare the universe (must still contain all data)."""
-        return replace(self, extent=extent)
+        """Re-declare the universe (must still contain all data).
+
+        Shares the coordinate arrays but not the token — the extent is
+        part of the fingerprint, so inheriting the parent's memo would
+        serve the wrong digest.
+        """
+        return replace(self, extent=extent, token=MutationToken())
+
+    # ------------------------------------------------------------------
+    def mark_mutated(self) -> None:
+        """Declare an in-place edit of the coordinate arrays.
+
+        Every sanctioned write path must call this (directly or via
+        helpers like :func:`repro.histograms.maintenance.apply_updates`)
+        so that fingerprint memos and every cache keyed on them are
+        invalidated.  Mutating the arrays *without* calling this leaves
+        stale identities behind; the periodic audit in
+        :mod:`repro.perf.fingerprint` exists to catch exactly that.
+        """
+        self.token.bump()
+
+    def _cached_fingerprint(self) -> "str | None":
+        """The memoized fingerprint digest, if still current."""
+        memo = self.__dict__.get("_fingerprint_memo")
+        if memo is not None and memo[0] == self.token.version:
+            return memo[1]
+        return None
+
+    def _store_fingerprint(self, version: int, digest: str) -> None:
+        """Memoize ``digest`` computed at token ``version``.
+
+        Dropped silently when the token has moved on since the fold
+        started (a concurrent ``mark_mutated``) — a stale digest must
+        never be served.  Stored outside the dataclass fields so
+        ``dataclasses.replace`` never copies it to derived datasets.
+        """
+        if version == self.token.version:
+            object.__setattr__(self, "_fingerprint_memo", (version, digest))
 
     def __repr__(self) -> str:
         return f"SpatialDataset({self.name!r}, n={len(self.rects)})"

@@ -21,6 +21,12 @@ from .file import (
     save_histogram,
 )
 from .diagnostics import GHContributions, cell_contributions
+from .fused import (
+    GHStack,
+    fused_pair_estimates,
+    fused_selectivity_matrix,
+    stack_gh,
+)
 from .maintenance import apply_updates, merge_histograms
 from .parametric import aref_samet_selectivity, aref_samet_size, parametric_selectivity
 from .ph import PHHistogram, ph_selectivity
@@ -40,6 +46,10 @@ __all__ = [
     "GHContributions",
     "GHPyramid",
     "downsample_gh",
+    "GHStack",
+    "stack_gh",
+    "fused_pair_estimates",
+    "fused_selectivity_matrix",
     "Grid",
     "CellOverlap",
     "MAX_LEVEL",

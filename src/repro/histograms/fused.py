@@ -1,0 +1,156 @@
+"""Fused GH combine kernels: Equation 5 as batched array passes.
+
+Equation 5 is a sum of elementwise products over cells,
+
+    IP(a, b) = Σ_ij  Ca·Ob + Cb·Oa + Ha·Vb + Hb·Va,
+
+so combining one histogram against many — or all k against all k — does
+not need a Python loop over pairs.  Stacking the four stat planes of k
+histograms into ``(k, cells)`` blocks turns
+
+* a *list of pairs* into a few broadcasted elementwise products plus a
+  row-wise sum (:func:`fused_pair_estimates`), and
+* the *full k×k matrix* into two GEMMs (:func:`fused_selectivity_matrix`):
+  ``C @ O.T`` and ``H @ V.T`` give every ``Σ Ca·Ob`` / ``Σ Ha·Vb`` at
+  once, and ``IP = CO + COᵀ + HV + HVᵀ``.
+
+**Numerics contract.**  The two kernels make *different* promises:
+
+- :func:`fused_pair_estimates` is **bit-identical** to
+  :meth:`GHHistogram.estimate_selectivity` per pair.  Each row's
+  expression tree matches the scalar combine exactly, and numpy's
+  pairwise summation of a contiguous row (``.sum(axis=1)``) performs
+  the same reduction as the 1-D ``.sum()`` the scalar path uses.  This
+  is the kernel under ``estimate_many`` and the tier-0 memo, where
+  equality with the unfused path is asserted by tests.
+- :func:`fused_selectivity_matrix` routes through BLAS, which reorders
+  the reduction; results agree with the pairwise path to ~1e-15
+  relative — fine for the optimizer matrix, not for bit-identity
+  contracts.  Use it where :func:`~repro.core.matrix.pairwise_selectivities`
+  tolerances apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..runtime import checkpoint
+from .gh import GHHistogram
+from .grid import Grid
+
+__all__ = [
+    "GHStack",
+    "stack_gh",
+    "fused_pair_estimates",
+    "fused_selectivity_matrix",
+]
+
+#: Pairs combined per fused block — bounds peak memory at
+#: ``chunk × cells`` floats and keeps a cooperative checkpoint between
+#: blocks so deadlines and fault hooks retain their granularity.
+_PAIR_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class GHStack:
+    """The four Table 2 stat planes of k histograms, row-stacked."""
+
+    grid: Grid
+    counts: np.ndarray  #: (k,) int64 dataset cardinalities
+    c: np.ndarray  #: (k, cells)
+    o: np.ndarray  #: (k, cells)
+    h: np.ndarray  #: (k, cells)
+    v: np.ndarray  #: (k, cells)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def stack_gh(histograms: Sequence[GHHistogram]) -> GHStack:
+    """Stack k same-grid GH files into one ``(k, cells)`` block set."""
+    if not histograms:
+        raise ValueError("need at least one histogram to stack")
+    grid = histograms[0].grid
+    for hist in histograms[1:]:
+        if hist.grid != grid:
+            raise ValueError(
+                "GH histograms must share the same grid (extent and level)"
+            )
+    return GHStack(
+        grid=grid,
+        counts=np.array([hist.count for hist in histograms], dtype=np.int64),
+        c=np.stack([hist.c for hist in histograms]),
+        o=np.stack([hist.o for hist in histograms]),
+        h=np.stack([hist.h for hist in histograms]),
+        v=np.stack([hist.v for hist in histograms]),
+    )
+
+
+def fused_pair_estimates(
+    stack: GHStack, idx1: np.ndarray, idx2: np.ndarray
+) -> np.ndarray:
+    """Selectivity for each requested ``(idx1[p], idx2[p])`` pair.
+
+    Bit-identical to calling ``estimate_selectivity`` per pair: the
+    operand order inside each row matches the scalar combine (left
+    histogram = ``idx1``), and pairs with an empty side answer 0.0
+    without dividing.
+    """
+    idx1 = np.asarray(idx1, dtype=np.intp)
+    idx2 = np.asarray(idx2, dtype=np.intp)
+    if idx1.shape != idx2.shape:
+        raise ValueError("idx1 and idx2 must have the same shape")
+    pairs = len(idx1)
+    ip = np.empty(pairs, dtype=np.float64)
+    for start in range(0, pairs, _PAIR_CHUNK):
+        checkpoint("gh.combine.fused")
+        block = slice(start, start + _PAIR_CHUNK)
+        i, j = idx1[block], idx2[block]
+        # Same expression tree as GHHistogram.estimate_intersection_points,
+        # broadcast over rows; the row-wise pairwise sum reduces each row
+        # exactly like the scalar path's 1-D sum.
+        terms = (
+            stack.c[i] * stack.o[j]
+            + stack.c[j] * stack.o[i]
+            + stack.h[i] * stack.v[j]
+            + stack.h[j] * stack.v[i]
+        )
+        ip[block] = terms.sum(axis=1)
+    n1 = stack.counts[idx1]
+    n2 = stack.counts[idx2]
+    denominator = n1 * n2  # int64: exact below 2^63 pairs
+    out = np.zeros(pairs, dtype=np.float64)
+    populated = denominator > 0
+    # (ip / 4) / (n1 * n2) — division order matches estimate_pairs /
+    # estimate_selectivity, so the roundings are the scalar path's.
+    out[populated] = (ip[populated] / 4.0) / denominator[populated]
+    return out
+
+
+def fused_selectivity_matrix(stack: GHStack) -> np.ndarray:
+    """The full k×k selectivity matrix via two GEMMs (approximate).
+
+    ``result[i, j]`` matches ``estimate_selectivity`` to ~1e-15
+    relative (BLAS reorders the cell reduction); the diagonal holds
+    each dataset's self-join selectivity.  Rows/columns of empty
+    datasets are 0.0.
+    """
+    checkpoint("gh.combine.fused")
+    co = stack.c @ stack.o.T  # co[i, j] = Σ_cells C_i · O_j
+    hv = stack.h @ stack.v.T
+    # half + half.T is exactly symmetric (float + is commutative), so
+    # result[i, j] == result[j, i] bit-for-bit — the optimizer's upper
+    # triangle is the whole story.
+    half = co + hv
+    ip = half + half.T
+    counts = stack.counts.astype(np.float64)
+    denominator = 4.0 * np.outer(counts, counts)
+    return np.divide(
+        ip,
+        denominator,
+        out=np.zeros_like(ip),
+        where=denominator > 0.0,
+    )

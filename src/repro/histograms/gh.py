@@ -265,7 +265,7 @@ def _spread_segments(
     spans = hi_cell - lo_cell + 1
     total = int(spans.sum())
     seg_rep = np.repeat(np.arange(n, dtype=np.int64), spans)
-    offsets = np.concatenate([[0], np.cumsum(spans)[:-1]])
+    offsets = np.concatenate([[0], np.cumsum(spans)[:-1]], dtype=np.int64)
     local = np.arange(total, dtype=np.int64) - np.repeat(offsets, spans)
     cell_idx = lo_cell[seg_rep] + local
     cell_lo = axis_origin + cell_idx * cell_size

@@ -36,6 +36,7 @@ from .gh import GHHistogram
 from .gh_basic import BasicGHHistogram
 
 if TYPE_CHECKING:
+    from ..datasets import SpatialDataset as SpatialDatasetT
     from ..perf.cache import CacheKey
     from ..store import ArtifactCatalog
 
@@ -85,6 +86,7 @@ def apply_updates(
     store: "ArtifactCatalog | None" = None,
     stale_key: "CacheKey | None" = None,
     republish_key: "CacheKey | None" = None,
+    dataset: "SpatialDatasetT | None" = None,
 ) -> H:
     """A new histogram reflecting inserted and/or deleted rectangles.
 
@@ -99,6 +101,13 @@ def apply_updates(
     linger, and ``republish_key`` (the *mutated* dataset's key — the
     caller computes it, having the data) publishes the maintained
     result atomically.  Passing keys without a store is an error.
+
+    When ``dataset`` is given (the live dataset whose arrays the caller
+    is editing in place alongside this histogram), its mutation token is
+    bumped via :meth:`~repro.datasets.base.SpatialDataset.mark_mutated`
+    — this is the sanctioned write path, so fingerprint memos and every
+    estimate cached under the old identity are invalidated in the same
+    operation that maintains the statistics.
     """
     fields = _check_supported(hist)
     hist_cls = type(hist)
@@ -123,6 +132,8 @@ def apply_updates(
         np.maximum(new_values[name], 0.0, out=new_values[name])
     result = hist_cls(grid=hist.grid, count=int(count), **new_values)
     _sync_store(store, (stale_key,) if stale_key is not None else (), republish_key, result)
+    if dataset is not None:
+        dataset.mark_mutated()
     return result
 
 

@@ -17,10 +17,15 @@ how rarely you rebuild.  This package supplies that amortization layer:
   histogram is cached), and :class:`FlatTreeCache`, the same recipe over
   bulk-loaded :class:`~repro.rtree.flat.FlatRTree` structures for the
   sampling engine's "trees already exist" scenario;
+* :mod:`~repro.perf.memo` — :class:`EstimateCache`, the tier-0 memo of
+  final selectivity floats keyed by (fingerprint pair, formula,
+  extent): warm repeats skip builds *and* combines, bit-identically;
 * :mod:`~repro.perf.batch` — :func:`estimate_many`, which deduplicates
-  histogram builds across a whole workload of queries and runs the
-  distinct builds in parallel (falling back to serial whenever a runtime
-  deadline/fault scope is active, preserving checkpoint semantics).
+  histogram builds across a whole workload of queries, runs the
+  distinct builds on a shared process pool (falling back to serial
+  whenever a runtime deadline/fault scope is active, preserving
+  checkpoint semantics), and fuses same-grid GH combines into one
+  broadcasted Equation 5 pass.
 
 ``benchmarks/bench_serving.py`` measures the resulting build-time,
 latency, and throughput story and emits ``BENCH_serving.json``.
@@ -35,7 +40,15 @@ from .cache import (
     HistogramCache,
     TreeCacheKey,
 )
-from .fingerprint import dataset_fingerprint, rects_fingerprint
+from .fingerprint import (
+    audit_fingerprint,
+    dataset_fingerprint,
+    dataset_fingerprint_uncached,
+    peek_fingerprint,
+    rects_fingerprint,
+    set_fingerprint_memo,
+)
+from .memo import EstimateCache, EstimateKey, MemoStats, scheme_formula
 
 __all__ = [
     "BatchQuery",
@@ -46,6 +59,14 @@ __all__ = [
     "HistogramCache",
     "FlatTreeCache",
     "TreeCacheKey",
+    "EstimateCache",
+    "EstimateKey",
+    "MemoStats",
+    "scheme_formula",
     "dataset_fingerprint",
+    "dataset_fingerprint_uncached",
+    "peek_fingerprint",
+    "audit_fingerprint",
+    "set_fingerprint_memo",
     "rects_fingerprint",
 ]

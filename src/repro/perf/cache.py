@@ -63,6 +63,7 @@ from .fingerprint import dataset_fingerprint, rects_fingerprint
 
 if TYPE_CHECKING:
     from ..store import ArtifactCatalog
+    from .memo import EstimateCache
 
 __all__ = [
     "CacheKey",
@@ -355,13 +356,20 @@ class CachedEstimator(PreparedEstimator):
     untouched via :meth:`wrap`.
     """
 
-    def __init__(self, inner: PreparedEstimator, cache: HistogramCache) -> None:
+    def __init__(
+        self,
+        inner: PreparedEstimator,
+        cache: HistogramCache,
+        *,
+        memo: "EstimateCache | None" = None,
+    ) -> None:
         if not isinstance(inner, (GHEstimator, PHEstimator, BasicGHEstimator)):
             raise TypeError(
                 f"CachedEstimator wraps histogram estimators, got {type(inner).__name__}"
             )
         self.inner = inner
         self.cache = cache
+        self.memo = memo
         self.name = inner.name
         self.level = inner.level
 
@@ -373,6 +381,11 @@ class CachedEstimator(PreparedEstimator):
         if isinstance(estimator, (GHEstimator, PHEstimator, BasicGHEstimator)):
             return cls(estimator, cache)
         return estimator
+
+    def memo_formula(self) -> "str | None":
+        """The wrapped estimator's label — caching layers don't change
+        the number, so the memo entries are interchangeable."""
+        return self.inner.memo_formula()
 
     def prepare(self, dataset: SpatialDataset, *, extent: Rect | None = None) -> Histogram:
         """The (possibly cached or derived) histogram file for ``dataset``."""

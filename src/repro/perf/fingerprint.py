@@ -3,23 +3,35 @@
 The histogram cache must key on *what the data is*, not on what it is
 called: two :class:`~repro.datasets.base.SpatialDataset` objects with
 the same rectangles and extent must share cache entries, and any change
-to the geometry (even an in-place mutation of the coordinate arrays)
-must produce a different key.  The fingerprint is recomputed on every
-call precisely so that mutations are never missed — which makes it the
-hot path of every warm-cache lookup, so it has to be much cheaper than
-the histogram combine it sits in front of.
+to the geometry must produce a different key.
 
-Each coordinate array is therefore folded with a vectorized
-multiply-mix: the raw float64 bit patterns are multiplied by a fixed
-pseudo-random odd-weight sequence and summed modulo 2⁶⁴ (two numpy
-passes, memory-bandwidth bound — ~10× faster than feeding the buffers
-to a cryptographic hash).  Because every weight is odd (invertible mod
-2⁶⁴), changing any single element changes its term and hence the sum —
-single mutations are detected *deterministically*; independent
-multi-element changes collide with probability ~2⁻⁶⁴.  The four
-per-array accumulators, the length, and the declared extent are then
-digested with BLAKE2b into a stable 128-bit hex key.  The weight
-sequence is seeded, so fingerprints are reproducible across processes.
+Each coordinate array is folded with a vectorized multiply-mix: the raw
+float64 bit patterns are multiplied by a fixed pseudo-random odd-weight
+sequence and summed modulo 2⁶⁴ (two numpy passes, memory-bandwidth
+bound — ~10× faster than feeding the buffers to a cryptographic hash).
+Because every weight is odd (invertible mod 2⁶⁴), changing any single
+element changes its term and hence the sum — single mutations are
+detected *deterministically*; independent multi-element changes collide
+with probability ~2⁻⁶⁴.  The four per-array accumulators, the length,
+and the declared extent are then digested with BLAKE2b into a stable
+128-bit hex key.  The weight sequence is seeded, so fingerprints are
+reproducible across processes.
+
+**Token-memoized identity.**  The fold is O(n) over the coordinates,
+which made it the dominant cost of every warm-cache lookup.  Datasets
+now carry a monotonic :class:`~repro.datasets.base.MutationToken`
+bumped by every sanctioned write path, so :func:`dataset_fingerprint`
+memoizes the digest per ``(dataset identity, token version)`` and a
+warm lookup is O(1).  The contract shift is deliberate: in-place
+mutations are detected through :meth:`SpatialDataset.mark_mutated`
+rather than by rehashing on every call.  Unsanctioned mutations (arrays
+edited without a bump) are caught by an **audit**: every
+``_AUDIT_INTERVAL`` memo hits — and on every hit taken while a
+fault-injection hook is active, so chaos suites exercise it constantly
+— the digest is recomputed from the coordinates and compared;
+a mismatch raises :class:`~repro.errors.InvalidDatasetError` naming the
+violated contract.  :func:`dataset_fingerprint_uncached` is the audit
+fold, kept public as the benchmark baseline.
 
 The dataset *name* is deliberately excluded — renaming a dataset keeps
 its cached histograms valid.
@@ -33,9 +45,18 @@ import struct
 import numpy as np
 
 from ..datasets import SpatialDataset
+from ..errors import InvalidDatasetError
 from ..geometry import RectArray
+from ..runtime import active_scope
 
-__all__ = ["dataset_fingerprint", "rects_fingerprint"]
+__all__ = [
+    "dataset_fingerprint",
+    "dataset_fingerprint_uncached",
+    "peek_fingerprint",
+    "audit_fingerprint",
+    "rects_fingerprint",
+    "set_fingerprint_memo",
+]
 
 #: 128-bit digests: collision-safe for any realistic catalog size.
 _DIGEST_BYTES = 16
@@ -44,7 +65,27 @@ _DIGEST_BYTES = 16
 #: across processes and sessions.
 _WEIGHT_SEED = 0x5EED_F1D5
 
+#: Recompute-and-compare once per this many memo hits (approximate —
+#: the counter is racy by design; audit frequency is best-effort).
+_AUDIT_INTERVAL = 1024
+
 _weights = np.empty(0, dtype=np.uint64)
+
+_memo_enabled = True
+_hits_since_audit = 0
+
+
+def set_fingerprint_memo(enabled: bool) -> bool:
+    """Toggle token-based memoization; returns the previous setting.
+
+    Exists for the warm-path benchmark (which measures the pre-token
+    rehash-every-call baseline) and for bisecting cache anomalies.
+    Disabling restores the legacy recompute-on-every-call behaviour.
+    """
+    global _memo_enabled
+    previous = _memo_enabled
+    _memo_enabled = bool(enabled)
+    return previous
 
 
 def _mix_weights(n: int) -> np.ndarray:
@@ -62,7 +103,68 @@ def _mix_weights(n: int) -> np.ndarray:
 
 
 def dataset_fingerprint(dataset: SpatialDataset) -> str:
-    """Hex digest identifying the dataset's geometry and universe."""
+    """Hex digest identifying the dataset's geometry and universe.
+
+    Memoized per ``(dataset identity, token version)``: the O(n) fold
+    runs once per mutation state, then every warm call returns the
+    stored digest.  The token version is captured *before* folding, so
+    a concurrent ``mark_mutated`` can at worst discard the memo — never
+    publish a stale digest under a new version.
+    """
+    global _hits_since_audit
+    if not _memo_enabled:
+        return dataset_fingerprint_uncached(dataset)
+    memo = dataset._cached_fingerprint()
+    if memo is not None:
+        _hits_since_audit += 1
+        scope = active_scope()
+        if _hits_since_audit >= _AUDIT_INTERVAL or (
+            scope is not None and scope.hook is not None
+        ):
+            _hits_since_audit = 0
+            return audit_fingerprint(dataset)
+        return memo
+    version = dataset.token.version
+    digest = dataset_fingerprint_uncached(dataset)
+    dataset._store_fingerprint(version, digest)
+    return digest
+
+
+def peek_fingerprint(dataset: SpatialDataset) -> "str | None":
+    """The memoized digest, or None — never folds the coordinates.
+
+    The serving fast lane runs on the event loop, where an O(n) fold
+    would stall every other request; a cold memo simply means "take the
+    slow path", which computes (and memoizes) the digest off-loop.
+    """
+    if not _memo_enabled:
+        return None
+    return dataset._cached_fingerprint()
+
+
+def audit_fingerprint(dataset: SpatialDataset) -> str:
+    """Recompute the digest and verify it against the memo.
+
+    Returns the recomputed digest.  A mismatch means the coordinate
+    arrays were edited without :meth:`SpatialDataset.mark_mutated` —
+    every cache keyed on the stale digest is silently wrong — so it
+    raises :class:`InvalidDatasetError` rather than repair quietly.
+    """
+    version = dataset.token.version
+    memo = dataset._cached_fingerprint()
+    digest = dataset_fingerprint_uncached(dataset)
+    if memo is not None and memo != digest:
+        raise InvalidDatasetError(
+            f"dataset {dataset.name!r} was mutated in place without "
+            f"mark_mutated(): memoized fingerprint {memo} != recomputed "
+            f"{digest} at token version {dataset.token.version}"
+        )
+    dataset._store_fingerprint(version, digest)
+    return digest
+
+
+def dataset_fingerprint_uncached(dataset: SpatialDataset) -> str:
+    """The O(n) multiply-mix fold — the memo's ground truth."""
     rects = dataset.rects
     n = len(rects)
     weights = _mix_weights(n)
@@ -83,7 +185,8 @@ def rects_fingerprint(rects: RectArray) -> str:
     extent (a rect array has none) and under a distinct domain tag, so a
     dataset and its own rect array can never collide in a shared map.
     The tree cache keys on this: sample R-trees are built from plain
-    rect arrays, not datasets.
+    rect arrays, not datasets.  Not memoized — rect arrays carry no
+    token, and the sampling paths that use this redraw per call anyway.
     """
     n = len(rects)
     weights = _mix_weights(n)

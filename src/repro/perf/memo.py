@@ -1,0 +1,217 @@
+"""Tier-0 estimate memo: the cheapest rung of the warm path.
+
+The histogram cache (:mod:`repro.perf.cache`) already collapses warm
+*builds* to O(cells) combines; this module collapses warm *estimates*
+to a dict lookup.  A combine is a pure function of the two histogram
+files, which are themselves pure functions of ``(dataset geometry,
+scheme, level, extent)`` — so the final float can be content-addressed
+by
+
+    (fingerprint1, fingerprint2, formula, extent)
+
+and replayed bit-identically without touching a single cell.  The
+``formula`` string names the combine including every parameter that
+changes the number (``"gh(level=7)"``, ``"ph(level=5,span=1)"``, ...);
+producers share :func:`scheme_formula` so entries written by
+``estimate_many`` are readable by ``PreparedEstimator.estimate`` and by
+the serving fast lane.
+
+Keys are **ordered** — ``(f1, f2)`` and ``(f2, f1)`` are distinct
+entries.  Equation 5 is mathematically symmetric, but swapping the
+operands reorders the float additions; canonicalizing the pair would
+trade bit-identity for a slightly higher hit rate, and bit-identity is
+the whole contract.
+
+**Fault discipline.**  Both :meth:`EstimateCache.get` and
+:meth:`EstimateCache.put` are bypassed while a fault-injection hook is
+active in the current runtime scope: a memo hit would let a request
+dodge the fault it was supposed to see, and a memo insert could retain
+a value computed through a mutation hook (the histogram cache's
+no-poison rule, applied one tier up).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..datasets import SpatialDataset
+from ..geometry import Rect
+from ..runtime import active_scope
+from .fingerprint import dataset_fingerprint, peek_fingerprint
+
+__all__ = ["EstimateKey", "EstimateCache", "MemoStats", "scheme_formula"]
+
+#: Default entry budget: a key is ~100 bytes and a value is one float,
+#: so 64 Ki entries is a few MiB — tiny next to one level-7 histogram.
+DEFAULT_MAX_ENTRIES = 64 * 1024
+
+
+def scheme_formula(scheme: str, level: int) -> str:
+    """Canonical formula label shared by every memo producer.
+
+    Matches the serving layer's ``requested`` quality label, so a memo
+    key names exactly what a :class:`~repro.serve.loop.ServeRequest`
+    asked for.
+    """
+    return f"{scheme}(level={int(level)})"
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateKey:
+    """Content-addressed identity of one selectivity estimate."""
+
+    fingerprint1: str
+    fingerprint2: str
+    formula: str
+    extent: tuple[float, float, float, float]
+
+
+@dataclass
+class MemoStats:
+    """Monotonic counters describing memo behaviour since creation."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    skips: int = 0  #: get/put bypassed under an active fault hook
+    audits_failed: int = 0  #: reserved for invalidation observability
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reports and benchmark JSON."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "skips": self.skips,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class EstimateCache:
+    """Thread-safe LRU of final selectivity floats.
+
+    Invalidation is free: a sanctioned mutation bumps the dataset's
+    token, the next fingerprint differs, and every key minted for the
+    old geometry simply stops being asked for (stale entries age out of
+    the LRU).  There is nothing to purge eagerly.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.stats = MemoStats()
+        self._entries: "OrderedDict[EstimateKey, float]" = OrderedDict()  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: EstimateKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        formula: str,
+        extent: Rect,
+    ) -> EstimateKey:
+        """The memo key a lookup would use (folds cold fingerprints)."""
+        return EstimateKey(
+            fingerprint1=dataset_fingerprint(ds1),
+            fingerprint2=dataset_fingerprint(ds2),
+            formula=formula,
+            extent=extent.as_tuple(),
+        )
+
+    @staticmethod
+    def peek_key_for(
+        ds1: SpatialDataset,
+        ds2: SpatialDataset,
+        formula: str,
+        extent: Rect,
+    ) -> "EstimateKey | None":
+        """:meth:`key_for` without ever folding coordinates.
+
+        Returns None when either side's fingerprint memo is cold — the
+        event-loop fast lane must not pay O(n) work; the slow path will
+        warm the fingerprints as a side effect.
+        """
+        f1 = peek_fingerprint(ds1)
+        if f1 is None:
+            return None
+        f2 = peek_fingerprint(ds2)
+        if f2 is None:
+            return None
+        return EstimateKey(
+            fingerprint1=f1, fingerprint2=f2, formula=formula, extent=extent.as_tuple()
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: "EstimateKey | None") -> "float | None":
+        """The memoized estimate, or None (miss, or fault-hook bypass)."""
+        if key is None:
+            return None
+        scope = active_scope()
+        if scope is not None and scope.hook is not None:
+            self.stats.skips += 1
+            return None
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: "EstimateKey | None", value: float) -> None:
+        """Retain one estimate (LRU within the entry budget).
+
+        No-op under an active fault hook — a value computed while a
+        mutation hook could fire must never be retained (see the module
+        docstring), and chaos suites assert exactly that.
+        """
+        if key is None:
+            return
+        scope = active_scope()
+        if scope is not None and scope.hook is not None:
+            self.stats.skips += 1
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            self.stats.inserts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimateCache(entries={len(self)}/{self.max_entries}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

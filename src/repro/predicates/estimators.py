@@ -116,6 +116,15 @@ class InflatedEstimator(PreparedEstimator):
         """The inner combine formula on the buffered summaries."""
         return self.inner.combine(prep1, prep2)
 
+    def memo_formula(self) -> "str | None":
+        """Inner formula tagged with ε (ε = 0 *is* the inner combine)."""
+        inner = self.inner.memo_formula()
+        if inner is None:
+            return None
+        if self.eps == 0.0:
+            return inner
+        return f"inflated(eps={self.eps!r},{inner})"
+
     def __repr__(self) -> str:
         return f"InflatedEstimator({self.inner!r}, eps={self.eps})"
 
@@ -152,6 +161,9 @@ class EndpointInequalityEstimator(PreparedEstimator):
     def combine(self, prep1: EndpointHistogram, prep2: EndpointHistogram) -> float:
         """The 2206.07396 bucket formula for this predicate's operator."""
         return prep1.estimate_inequality(prep2, self.predicate.op)
+
+    def memo_formula(self) -> str:
+        return f"endpoint({self.predicate.key},level={self.level})"
 
     def __repr__(self) -> str:
         return f"EndpointInequalityEstimator({self.predicate!r}, level={self.level})"
@@ -207,6 +219,9 @@ class IntervalOverlapEstimator(PreparedEstimator):
         miss = a_hi.estimate_inequality(b_lo, "lt") + b_hi.estimate_inequality(a_lo, "lt")
         return max(0.0, 1.0 - miss)
 
+    def memo_formula(self) -> str:
+        return f"interval({self.predicate.key},level={self.level})"
+
     def __repr__(self) -> str:
         return f"IntervalOverlapEstimator({self.predicate!r}, level={self.level})"
 
@@ -246,6 +261,9 @@ class ParametricIntervalEstimator(PreparedEstimator):
         if length <= 0.0:
             return 1.0
         return min(1.0, (prep1[0] + prep2[0]) / length)
+
+    def memo_formula(self) -> str:
+        return f"interval_parametric({self.predicate.key})"
 
     def __repr__(self) -> str:
         return f"ParametricIntervalEstimator({self.predicate!r})"

@@ -254,6 +254,27 @@ class AdmissionController:
             self.stats.high_water = self._depth
         return AdmissionTicket(tenant=tenant)
 
+    def charge(self, tenant: str = "default") -> None:
+        """Consume one quota token *without* taking a queue slot.
+
+        The serving fast lane answers memo hits on the event loop —
+        they occupy no executor capacity, so the bounded queue (a
+        capacity guard) is rightly skipped — but per-tenant quotas are
+        a client-facing rate contract and must bill every answered
+        request.  Raises the same ``reason="quota"`` overload as
+        :meth:`admit` when the tenant's bucket is dry.
+        """
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            self.stats.rejected_quota += 1
+            raise ServiceOverloadError(
+                f"tenant {tenant!r} exceeded its quota "
+                f"({self.tenant_rate:g} q/s, burst {self.tenant_burst:g})",
+                reason="quota",
+                tenant=tenant,
+                queue_depth=self._depth,
+            )
+
     def release(self, ticket: AdmissionTicket) -> None:
         """Return the ticket's queue slot (idempotent per ticket)."""
         if ticket.released:

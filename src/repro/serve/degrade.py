@@ -98,9 +98,11 @@ class ServeProvenance:
     degraded: bool  #: True unless the full rung answered cleanly
     pressure: float  #: admission-queue pressure when the rung was chosen
     reason: str = ""  #: first failure that forced a descent ("" = pressure only)
-    #: Execution path: "batch", "shards", or "local"; the cached rung
-    #: refines "local" to "store" (answered off the artifact catalog)
-    #: or "build" (a side had to scan the data) when a store is attached.
+    #: Execution path: "batch", "shards", "memo" (the tier-0 estimate
+    #: memo answered on the event loop — a bit-identical replay of a
+    #: previous full-rung answer), or "local"; the cached rung refines
+    #: "local" to "store" (answered off the artifact catalog) or
+    #: "build" (a side had to scan the data) when a store is attached.
     via: str = "local"
     shard_ids: tuple[int, ...] = ()  #: shards consulted (shard path only)
 

@@ -43,6 +43,7 @@ class LoadReport:
     errors: int = 0  #: any other exception (should be zero)
     latencies_s: "list[float]" = field(default_factory=list, repr=False)
     rungs: "dict[str, int]" = field(default_factory=dict)
+    vias: "dict[str, int]" = field(default_factory=dict)  #: execution paths ("memo", "batch", ...)
     shed_reasons: "dict[str, int]" = field(default_factory=dict)
 
     @property
@@ -74,6 +75,7 @@ class LoadReport:
                 "p99": self.percentile_ms(99),
             },
             "rungs": dict(self.rungs),
+            "vias": dict(self.vias),
             "shed_reasons": dict(self.shed_reasons),
         }
 
@@ -140,6 +142,7 @@ def _classify(report: LoadReport, outcome: object) -> None:
     report.latencies_s.append(float(response.latency_s))  # type: ignore[attr-defined]
     provenance = response.provenance  # type: ignore[attr-defined]
     report.rungs[provenance.rung] = report.rungs.get(provenance.rung, 0) + 1
+    report.vias[provenance.via] = report.vias.get(provenance.via, 0) + 1
     if provenance.degraded:
         report.degraded += 1
 

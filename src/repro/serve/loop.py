@@ -41,6 +41,7 @@ from ..datasets import SpatialDataset
 from ..errors import EstimatorUnavailable, ServiceOverloadError
 from ..perf.batch import BatchQuery, estimate_many
 from ..perf.cache import HistogramCache
+from ..perf.memo import EstimateCache, scheme_formula
 from ..runtime import Deadline, runtime_scope
 from .admission import AdmissionController
 from .batcher import BatchRunner, MicroBatcher
@@ -102,6 +103,7 @@ class ServerConfig:
     max_delay_s: float = 0.002  #: micro-batcher window
     default_timeout_s: "float | None" = None  #: deadline when requests carry none
     cache_bytes: int = 64 * 1024 * 1024  #: shared histogram cache budget
+    memo_entries: int = 64 * 1024  #: tier-0 estimate-memo budget (0 = no fast lane)
 
 
 class EstimationServer:
@@ -160,6 +162,12 @@ class EstimationServer:
         self.ladder = DegradationLadder(self.config.policy)
         self.store = store
         self.cache = HistogramCache(self.config.cache_bytes, store=store)
+        self.memo: "EstimateCache | None" = (
+            EstimateCache(self.config.memo_entries)
+            if self.config.memo_entries > 0
+            else None
+        )
+        self._memo_fast_hits = 0
         self.shard_pool = shard_pool
         self.batcher = MicroBatcher(
             batch_runner if batch_runner is not None else self._default_runner,
@@ -201,6 +209,33 @@ class EstimationServer:
         if self._closed:
             raise EstimatorUnavailable("EstimationServer is closed")
         started = time.monotonic()
+        # Fast lane: a tier-0 memo hit answers on the event loop with no
+        # queue slot, no executor hop, no deadline bookkeeping — the
+        # value is a bit-identical replay of a previous full-rung
+        # answer.  Tenant quotas still apply (a rate contract bills
+        # every answered request); the bounded queue does not (a memo
+        # hit consumes none of the capacity the queue protects).
+        fast = self._fast_lane(request)
+        if fast is not None:
+            try:
+                self.admission.charge(request.tenant)
+            except ServiceOverloadError:
+                self.ladder.record(ServiceRung.SHED)
+                raise
+            self._memo_fast_hits += 1
+            self.ladder.record(ServiceRung.FULL)
+            provenance = ServeProvenance(
+                rung=ServiceRung.FULL.value,
+                requested=request.requested,
+                degraded=False,
+                pressure=self.admission.pressure,
+                via="memo",
+            )
+            return ServeResponse(
+                selectivity=fast,
+                provenance=provenance,
+                latency_s=time.monotonic() - started,
+            )
         budget = (
             request.timeout_s
             if request.timeout_s is not None
@@ -269,6 +304,49 @@ class EstimationServer:
             self.admission.release(ticket)
 
     # ------------------------------------------------------------------
+    def _fast_lane(self, request: ServeRequest) -> "float | None":
+        """Tier-0 memo consult, safe to run on the event loop.
+
+        Strictly O(1): fingerprints are *peeked*, never folded — a cold
+        fingerprint memo (new or just-mutated dataset) simply routes to
+        the slow path, which warms it off-loop.  Unknown dataset names,
+        empty sides, and extent mismatches also decline, so every error
+        and edge case keeps its slow-path semantics; the lane answers
+        only when a previous full-quality answer for this exact
+        (geometry, scheme, level, extent) is already in the memo.
+        """
+        if self.memo is None:
+            return None
+        ds1 = self.catalog.get(request.ds1)
+        ds2 = self.catalog.get(request.ds2)
+        if ds1 is None or ds2 is None:
+            return None
+        if len(ds1) == 0 or len(ds2) == 0 or ds1.extent != ds2.extent:
+            return None
+        key = EstimateCache.peek_key_for(
+            ds1, ds2, scheme_formula(request.scheme, request.level), ds1.extent
+        )
+        return self.memo.get(key)
+
+    def _memoize_full(
+        self, request: ServeRequest, ds1: SpatialDataset, ds2: SpatialDataset, value: float
+    ) -> None:
+        """Retain one clean full-rung answer for the fast lane.
+
+        Runs on an executor thread (folding a cold fingerprint there is
+        fine); only well-formed shared-extent pairs are retained, so
+        every memo entry replays a value the slow path would recompute
+        identically.
+        """
+        if self.memo is None:
+            return
+        if len(ds1) == 0 or len(ds2) == 0 or ds1.extent != ds2.extent:
+            return
+        key = EstimateCache.key_for(
+            ds1, ds2, scheme_formula(request.scheme, request.level), ds1.extent
+        )
+        self.memo.put(key, value)
+
     async def _execute(
         self,
         rung: ServiceRung,
@@ -288,16 +366,18 @@ class EstimationServer:
                 shard_ids = tuple(
                     sorted({pool.shard_for(request.ds1), pool.shard_for(request.ds2)})
                 )
-                value = await loop.run_in_executor(
-                    None,
-                    lambda: pool.estimate(
+                def run_pool() -> float:
+                    value = pool.estimate(
                         request.ds1,
                         request.ds2,
                         request.scheme,
                         request.level,
                         budget_s=budget_s,
-                    ),
-                )
+                    )
+                    self._memoize_full(request, ds1, ds2, value)
+                    return value
+
+                value = await loop.run_in_executor(None, run_pool)
                 return value, "shards", shard_ids
             query = BatchQuery(ds1, ds2, request.scheme, request.level)
             value = await self.batcher.submit(query, deadline)
@@ -368,7 +448,7 @@ class EstimationServer:
         """
         deadline = Deadline(budget_s) if budget_s is not None else None
         with runtime_scope(deadline=deadline):
-            return estimate_many(queries, cache=self.cache)
+            return estimate_many(queries, cache=self.cache, memo=self.memo)
 
     def _resolve(self, request: ServeRequest) -> "tuple[SpatialDataset, SpatialDataset]":
         """Look both datasets up; unknown names fail the request itself
@@ -391,6 +471,11 @@ class EstimationServer:
             "rungs": self.ladder.snapshot(),
             "batcher": self.batcher.stats.snapshot(),
             "cache": self.cache.stats.snapshot(),
+            "memo": {
+                **(self.memo.stats.snapshot() if self.memo is not None else {}),
+                "entries": len(self.memo) if self.memo is not None else 0,
+                "fast_hits": self._memo_fast_hits,
+            },
         }
         if self.store is not None:
             payload["store"] = self.store.stats.snapshot()

@@ -11,7 +11,7 @@ from repro.datasets import SpatialDataset
 from repro.errors import EstimationTimeout
 from repro.geometry import Rect, RectArray
 from repro.histograms import GHHistogram
-from repro.perf import BatchQuery, HistogramCache, estimate_many
+from repro.perf import BatchQuery, EstimateCache, HistogramCache, estimate_many
 from repro.runtime import Deadline, runtime_scope
 from tests.conftest import random_rects
 
@@ -139,3 +139,107 @@ class TestRuntimeScopeFallback:
         assert estimate_many(queries, max_workers=4) == estimate_many(
             queries, max_workers=1
         )
+
+
+class TestFingerprintDedup:
+    def test_each_distinct_object_fingerprinted_once(self, trio, monkeypatch):
+        """One batch folds each dataset *object* exactly once no matter
+        how many queries reference it."""
+        import repro.perf.batch as batch_mod
+
+        calls: list[str] = []
+        original = batch_mod.dataset_fingerprint
+
+        def counting(dataset):
+            calls.append(dataset.name)
+            return original(dataset)
+
+        monkeypatch.setattr(batch_mod, "dataset_fingerprint", counting)
+        queries = [
+            (a, b, scheme, level)
+            for (a, b), scheme, level in itertools.product(
+                itertools.product(trio, trio), ("gh", "ph"), (3, 4)
+            )
+            if a is not b
+        ]
+        assert len(queries) == 24
+        estimate_many(queries)
+        assert sorted(calls) == sorted(ds.name for ds in trio)
+
+
+class TestSharedPool:
+    def test_pool_is_created_once_and_reused(self, trio):
+        import repro.perf.batch as batch_mod
+
+        batch_mod._shutdown_shared_pool()
+        queries = [(a, b, "gh", 4) for a, b in itertools.combinations(trio, 2)]
+        estimate_many(queries)
+        first = batch_mod._shared_pool
+        assert first is not None
+        estimate_many(queries)
+        assert batch_mod._shared_pool is first
+
+    def test_shutdown_then_rebuild(self, trio):
+        import repro.perf.batch as batch_mod
+
+        queries = [(a, b, "gh", 4) for a, b in itertools.combinations(trio, 2)]
+        expected = estimate_many(queries)
+        batch_mod._shutdown_shared_pool()
+        assert batch_mod._shared_pool is None
+        assert estimate_many(queries) == expected
+
+    def test_explicit_workers_use_dedicated_pool(self, trio):
+        """An explicit max_workers must not touch the shared pool."""
+        import repro.perf.batch as batch_mod
+
+        batch_mod._shutdown_shared_pool()
+        queries = [(a, b, "gh", 4) for a, b in itertools.combinations(trio, 2)]
+        estimate_many(queries, max_workers=2)
+        assert batch_mod._shared_pool is None
+
+
+class TestTier0Memo:
+    def test_warm_batch_answers_from_memo(self, trio, monkeypatch):
+        memo = EstimateCache(64)
+        queries = [
+            (trio[0], trio[1], "gh", 5),
+            (trio[1], trio[2], "gh", 5),
+            (trio[0], trio[2], "ph", 4),
+        ]
+        cold = estimate_many(queries, memo=memo)
+        assert memo.stats.inserts == 3
+        calls = _count_gh_builds(monkeypatch)
+        warm = estimate_many(queries, memo=memo)
+        assert calls == []  # memo hits plan zero builds
+        assert warm == cold  # and replay bit-identically
+        assert memo.stats.hits == 3
+
+    def test_memo_results_match_memoless(self, trio):
+        queries = [
+            (a, b, scheme, 4)
+            for (a, b), scheme in itertools.product(
+                itertools.combinations(trio, 2), ("gh", "ph", "gh_basic")
+            )
+        ]
+        plain = estimate_many(queries)
+        memo = EstimateCache(64)
+        assert estimate_many(queries, memo=memo) == plain
+        assert estimate_many(queries, memo=memo) == plain
+
+    def test_duplicate_queries_in_one_batch(self, trio):
+        """The same query twice in one batch: one build pass, identical
+        answers in both positions."""
+        memo = EstimateCache(64)
+        query = (trio[0], trio[1], "gh", 5)
+        results = estimate_many([query, query], memo=memo)
+        assert results[0] == results[1]
+
+    def test_fault_hook_disables_memo(self, trio):
+        memo = EstimateCache(64)
+        queries = [(trio[0], trio[1], "gh", 4)]
+        clean = estimate_many(queries, memo=memo)
+        with runtime_scope(hook=object()):
+            faulted = estimate_many(queries, memo=memo)
+        assert faulted == clean  # inert hook: same numbers
+        assert memo.stats.hits == 0  # but the memo was never consulted
+        assert len(memo) == 1  # nor extended under the hook

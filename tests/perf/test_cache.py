@@ -31,12 +31,26 @@ class TestFingerprint:
         assert dataset_fingerprint(renamed) == dataset_fingerprint(dataset)
 
     def test_changes_on_dataset_mutation(self, dataset):
-        """Any geometry change — even an in-place array mutation —
-        produces a different fingerprint (content addressing must never
-        serve stale statistics for mutated data)."""
+        """A sanctioned geometry change — an in-place array mutation
+        announced via ``mark_mutated()`` — produces a different
+        fingerprint (content addressing must never serve stale
+        statistics for mutated data)."""
         before = dataset_fingerprint(dataset)
         dataset.rects.xmax[0] = min(dataset.rects.xmax[0] + 1e-9, 1.0)
+        dataset.mark_mutated()
         assert dataset_fingerprint(dataset) != before
+
+    def test_unsanctioned_mutation_caught_by_audit(self, dataset):
+        """Mutating arrays without ``mark_mutated()`` is a contract
+        violation; the periodic audit recomputes from bytes and raises
+        rather than serving a stale digest."""
+        from repro.errors import InvalidDatasetError
+        from repro.perf import audit_fingerprint
+
+        dataset_fingerprint(dataset)  # prime the token memo
+        dataset.rects.xmax[0] = min(dataset.rects.xmax[0] + 1e-9, 1.0)
+        with pytest.raises(InvalidDatasetError, match="mark_mutated"):
+            audit_fingerprint(dataset)
 
     def test_changes_on_subset(self, dataset):
         assert dataset_fingerprint(dataset.subset(np.arange(10))) != dataset_fingerprint(
@@ -76,6 +90,7 @@ class TestHitSemantics:
         ds = _make(rng)
         cache.get_or_build(ds, "gh", 4)
         ds.rects.ymin[3] = ds.rects.ymin[3] / 2.0
+        ds.mark_mutated()
         cache.get_or_build(ds, "gh", 4)
         assert cache.stats.misses == 2
         assert cache.stats.hits == 0

@@ -1,0 +1,136 @@
+"""Fused Equation 5 kernels: bit-identity, GEMM agreement, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GHEstimator
+from repro.core.matrix import pairwise_selectivities
+from repro.datasets import SpatialDataset
+from repro.histograms import (
+    GHHistogram,
+    fused_pair_estimates,
+    fused_selectivity_matrix,
+    stack_gh,
+)
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def datasets(rng) -> "list[SpatialDataset]":
+    return [
+        SpatialDataset(f"d{i}", random_rects(rng, 150 + 40 * i)) for i in range(5)
+    ]
+
+
+@pytest.fixture
+def histograms(datasets) -> "list[GHHistogram]":
+    return [GHHistogram.build(ds, 4) for ds in datasets]
+
+
+class TestStack:
+    def test_shapes(self, histograms):
+        stack = stack_gh(histograms)
+        k, cells = len(histograms), histograms[0].c.size
+        assert len(stack) == k
+        for plane in (stack.c, stack.o, stack.h, stack.v):
+            assert plane.shape == (k, cells)
+        assert stack.counts.dtype == np.int64
+
+    def test_grid_mismatch_rejected(self, datasets):
+        coarse = GHHistogram.build(datasets[0], 3)
+        fine = GHHistogram.build(datasets[1], 4)
+        with pytest.raises(ValueError, match="grid"):
+            stack_gh([coarse, fine])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            stack_gh([])
+
+
+class TestFusedPairs:
+    def test_bit_identical_to_scalar_combine(self, histograms):
+        """The fused kernel must reproduce ``estimate_selectivity``
+        *bit-for-bit* for every ordered pair, including self-joins —
+        this is the contract that lets the memo and the batch engine
+        substitute fused results for scalar ones."""
+        k = len(histograms)
+        idx1, idx2 = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        stack = stack_gh(histograms)
+        fused = fused_pair_estimates(stack, idx1.ravel(), idx2.ravel())
+        for flat, (i, j) in enumerate(zip(idx1.ravel(), idx2.ravel())):
+            scalar = histograms[i].estimate_selectivity(histograms[j])
+            assert fused[flat] == scalar, (i, j)
+
+    def test_chunking_preserves_identity(self, histograms, monkeypatch):
+        """Results are identical regardless of the pair-chunk size the
+        kernel uses for checkpoint granularity."""
+        import repro.histograms.fused as fused_mod
+
+        stack = stack_gh(histograms)
+        idx1 = np.array([0, 1, 2, 3, 4, 0], dtype=np.intp)
+        idx2 = np.array([1, 2, 3, 4, 0, 0], dtype=np.intp)
+        baseline = fused_pair_estimates(stack, idx1, idx2)
+        monkeypatch.setattr(fused_mod, "_PAIR_CHUNK", 2)
+        chunked = fused_pair_estimates(stack, idx1, idx2)
+        assert np.array_equal(baseline, chunked)
+
+    def test_empty_histogram_yields_zero(self, rng):
+        full = GHHistogram.build(SpatialDataset("f", random_rects(rng, 100)), 4)
+        empty = GHHistogram.build(
+            SpatialDataset("e", random_rects(rng, 0), full.grid.extent), 4
+        )
+        stack = stack_gh([full, empty])
+        out = fused_pair_estimates(
+            stack, np.array([0, 1, 1]), np.array([1, 0, 1])
+        )
+        assert np.array_equal(out, np.zeros(3))
+        assert full.estimate_selectivity(empty) == 0.0
+
+    def test_mismatched_index_lengths_rejected(self, histograms):
+        stack = stack_gh(histograms)
+        with pytest.raises(ValueError):
+            fused_pair_estimates(stack, np.array([0, 1]), np.array([0]))
+
+
+class TestFusedMatrix:
+    def test_close_to_scalar(self, histograms):
+        stack = stack_gh(histograms)
+        matrix = fused_selectivity_matrix(stack)
+        k = len(histograms)
+        assert matrix.shape == (k, k)
+        for i in range(k):
+            for j in range(k):
+                scalar = histograms[i].estimate_selectivity(histograms[j])
+                assert matrix[i, j] == pytest.approx(scalar, rel=1e-12)
+
+    def test_symmetric(self, histograms):
+        matrix = fused_selectivity_matrix(stack_gh(histograms))
+        assert np.array_equal(matrix, matrix.T)
+
+
+class TestMatrixEngines:
+    def test_fused_matches_pairwise(self, datasets):
+        est = GHEstimator(level=4)
+        fused = pairwise_selectivities(datasets, est, engine="fused")
+        scalar = pairwise_selectivities(datasets, est, engine="pairwise")
+        assert fused.keys() == scalar.keys()
+        for key, value in scalar.items():
+            assert fused[key] == pytest.approx(value, rel=1e-12)
+
+    def test_auto_picks_fused_for_gh(self, datasets):
+        est = GHEstimator(level=4)
+        auto = pairwise_selectivities(datasets, est)
+        fused = pairwise_selectivities(datasets, est, engine="fused")
+        assert auto == fused
+
+    def test_fused_rejects_non_gh(self, datasets):
+        from repro.core import PHEstimator
+
+        with pytest.raises(ValueError, match="fused"):
+            pairwise_selectivities(datasets, PHEstimator(level=4), engine="fused")
+
+    def test_unknown_engine_rejected(self, datasets):
+        with pytest.raises(ValueError, match="engine"):
+            pairwise_selectivities(datasets, GHEstimator(level=4), engine="warp")
